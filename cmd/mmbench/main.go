@@ -1,0 +1,56 @@
+// Command mmbench regenerates the paper's tables and figures from the
+// mmReliable reproduction. Each figure prints as an ASCII table of the same
+// series the paper plots.
+//
+// Usage:
+//
+//	mmbench -fig 14            # one figure
+//	mmbench -fig all           # everything, in paper order
+//	mmbench -list              # list available figures
+//	mmbench -fig 18b -quick    # reduced Monte-Carlo volume
+//	mmbench -seed 7 -fig 18c   # different random seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mmreliable/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure id (e.g. 14, 18b) or 'all'")
+	quick := flag.Bool("quick", false, "reduce Monte-Carlo volume")
+	seed := flag.Int64("seed", 1, "random seed")
+	list := flag.Bool("list", false, "list available figures")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	cfg := experiments.Config{Seed: *seed, Quick: *quick}
+	run := func(e experiments.Experiment) {
+		start := time.Now()
+		table := e.Run(cfg)
+		table.Render(os.Stdout)
+		fmt.Printf("(fig %s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+	}
+	if *fig == "all" {
+		for _, e := range experiments.All() {
+			run(e)
+		}
+		return
+	}
+	e, err := experiments.ByID(*fig)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintln(os.Stderr, "use -list to see available figures")
+		os.Exit(1)
+	}
+	run(e)
+}

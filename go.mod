@@ -1,0 +1,3 @@
+module mmreliable
+
+go 1.22

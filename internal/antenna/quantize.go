@@ -1,0 +1,79 @@
+package antenna
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"mmreliable/internal/cmx"
+)
+
+// Quantizer models the finite phase and amplitude resolution of a phased
+// array front-end. The paper's in-house array offers 6-bit phase shifters
+// and 27 dB of per-element gain control; commercial 802.11ad arrays can be
+// as coarse as 2-bit phase with on/off amplitude.
+type Quantizer struct {
+	PhaseBits   int     // phase shifter resolution; 0 disables quantization
+	GainRangeDB float64 // attenuator range below max gain; 0 disables
+	GainStepDB  float64 // attenuator step; ≤0 with GainRangeDB>0 means on/off
+}
+
+// DefaultQuantizer matches the paper's testbed: 6-bit phase, 27 dB gain
+// range in 0.5 dB steps.
+func DefaultQuantizer() Quantizer {
+	return Quantizer{PhaseBits: 6, GainRangeDB: 27, GainStepDB: 0.5}
+}
+
+// CoarseQuantizer matches low-end commercial hardware: 2-bit phase shifters
+// and per-element on/off amplitude control.
+func CoarseQuantizer() Quantizer {
+	return Quantizer{PhaseBits: 2, GainRangeDB: 27, GainStepDB: 0}
+}
+
+// Validate checks the quantizer parameters.
+func (q Quantizer) Validate() error {
+	if q.PhaseBits < 0 || q.PhaseBits > 16 {
+		return fmt.Errorf("antenna: phase bits %d out of range", q.PhaseBits)
+	}
+	if q.GainRangeDB < 0 {
+		return fmt.Errorf("antenna: negative gain range %g", q.GainRangeDB)
+	}
+	return nil
+}
+
+// Apply quantizes each element of w to the hardware's representable phases
+// and amplitudes and re-normalizes to unit norm (TRP conservation). The
+// input is not modified.
+func (q Quantizer) Apply(w cmx.Vector) cmx.Vector {
+	out := w.Clone()
+	maxAmp, _ := out.MaxAbs()
+	if maxAmp == 0 {
+		return out
+	}
+	for i, x := range out {
+		amp, ph := cmplx.Abs(x), cmplx.Phase(x)
+		if q.PhaseBits > 0 {
+			levels := float64(int(1) << uint(q.PhaseBits))
+			step := 2 * math.Pi / levels
+			ph = math.Round(ph/step) * step
+		}
+		if q.GainRangeDB > 0 {
+			rel := amp / maxAmp
+			relDB := 20 * math.Log10(rel)
+			switch {
+			case relDB < -q.GainRangeDB:
+				amp = 0 // below attenuator range: element off
+			case q.GainStepDB > 0:
+				relDB = math.Round(relDB/q.GainStepDB) * q.GainStepDB
+				if relDB < -q.GainRangeDB {
+					relDB = -q.GainRangeDB
+				}
+				amp = maxAmp * math.Pow(10, relDB/20)
+			default:
+				amp = maxAmp // on/off control: every live element at max
+			}
+		}
+		out[i] = cmplx.Rect(amp, ph)
+	}
+	return out.Normalize()
+}

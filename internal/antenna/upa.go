@@ -1,0 +1,106 @@
+package antenna
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"mmreliable/internal/cmx"
+)
+
+// UPA is a uniform planar array of Nx azimuth columns by Nz elevation rows
+// (the paper's testbed is an 8×8 panel). Elements are indexed row-major:
+// element (ix, iz) at index iz*Nx + ix.
+//
+// The paper beamforms in azimuth only and drives every element of a column
+// with the same elevation weight (§5.1); AzimuthWeights lifts any ULA
+// weight vector from this package's algorithms onto the full aperture that
+// way, picking up the 10·log10(Nz) elevation array gain.
+type UPA struct {
+	Nx, Nz int
+	Dx, Dz float64 // element spacings (m)
+	Lambda float64
+}
+
+// NewUPA returns a half-wavelength-spaced planar array.
+func NewUPA(nx, nz int, carrierHz float64) *UPA {
+	lambda := SpeedOfLight / carrierHz
+	return &UPA{Nx: nx, Nz: nz, Dx: lambda / 2, Dz: lambda / 2, Lambda: lambda}
+}
+
+// Validate checks the array parameters.
+func (u *UPA) Validate() error {
+	if u.Nx <= 0 || u.Nz <= 0 {
+		return fmt.Errorf("antenna: non-positive UPA dimensions %dx%d", u.Nx, u.Nz)
+	}
+	if u.Dx <= 0 || u.Dz <= 0 || u.Lambda <= 0 {
+		return fmt.Errorf("antenna: non-positive UPA spacing/wavelength")
+	}
+	return nil
+}
+
+// N returns the total element count.
+func (u *UPA) N() int { return u.Nx * u.Nz }
+
+// Steering returns the steering vector for departure azimuth az and
+// elevation el (radians from broadside): the Kronecker product of the
+// azimuth and elevation linear phase ramps.
+func (u *UPA) Steering(az, el float64) cmx.Vector {
+	v := make(cmx.Vector, u.N())
+	kx := -2 * math.Pi * u.Dx / u.Lambda * math.Sin(az) * math.Cos(el)
+	kz := -2 * math.Pi * u.Dz / u.Lambda * math.Sin(el)
+	for iz := 0; iz < u.Nz; iz++ {
+		zc := cmplx.Exp(complex(0, kz*float64(iz)))
+		for ix := 0; ix < u.Nx; ix++ {
+			v[iz*u.Nx+ix] = zc * cmplx.Exp(complex(0, kx*float64(ix)))
+		}
+	}
+	return v
+}
+
+// SingleBeam returns the unit-norm matched beam toward (az, el).
+func (u *UPA) SingleBeam(az, el float64) cmx.Vector {
+	return u.Steering(az, el).Conj().Normalize()
+}
+
+// Gain returns the power gain |a(az, el)ᵀw|² of weights w observed from the
+// given direction. A matched unit-norm beam peaks at Nx·Nz.
+func (u *UPA) Gain(w cmx.Vector, az, el float64) float64 {
+	g := u.Steering(az, el).Dot(w)
+	return real(g)*real(g) + imag(g)*imag(g)
+}
+
+// GainDB returns Gain in decibels.
+func (u *UPA) GainDB(w cmx.Vector, az, el float64) float64 {
+	return 10 * math.Log10(u.Gain(w, az, el))
+}
+
+// AzimuthULA returns the Nx-element linear array the azimuth-only
+// beamforming algorithms operate on.
+func (u *UPA) AzimuthULA() *ULA {
+	return &ULA{N: u.Nx, Spacing: u.Dx, Lambda: u.Lambda}
+}
+
+// AzimuthWeights lifts an Nx-element azimuth weight vector onto the full
+// aperture, steering the elevation uniformly toward el: every row carries
+// the azimuth weights scaled by the row's elevation phase, normalized to
+// unit norm. The resulting pattern equals the azimuth pattern times the
+// Nz-element elevation array factor (§5.1's operating mode).
+func (u *UPA) AzimuthWeights(az cmx.Vector, el float64) (cmx.Vector, error) {
+	if len(az) != u.Nx {
+		return nil, fmt.Errorf("antenna: azimuth weights length %d != Nx %d", len(az), u.Nx)
+	}
+	w := make(cmx.Vector, u.N())
+	kz := 2 * math.Pi * u.Dz / u.Lambda * math.Sin(el)
+	for iz := 0; iz < u.Nz; iz++ {
+		zc := cmplx.Exp(complex(0, kz*float64(iz)))
+		for ix := 0; ix < u.Nx; ix++ {
+			w[iz*u.Nx+ix] = zc * az[ix]
+		}
+	}
+	return w.Normalize(), nil
+}
+
+// ElevationGainDB is the link-budget gain the elevation dimension adds when
+// operating azimuth-only: 10·log10(Nz).
+func (u *UPA) ElevationGainDB() float64 { return 10 * math.Log10(float64(u.Nz)) }

@@ -1,0 +1,179 @@
+package antenna
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"mmreliable/internal/cmx"
+	"mmreliable/internal/dsp"
+)
+
+func upa88() *UPA { return NewUPA(8, 8, fc28) }
+
+func TestUPAValidate(t *testing.T) {
+	if err := upa88().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (&UPA{Nx: 0, Nz: 8, Dx: 1, Dz: 1, Lambda: 1}).Validate(); err == nil {
+		t.Fatal("Nx=0 should fail")
+	}
+	if err := (&UPA{Nx: 8, Nz: 8, Dx: -1, Dz: 1, Lambda: 1}).Validate(); err == nil {
+		t.Fatal("negative spacing should fail")
+	}
+}
+
+func TestUPASteeringUnitMagnitude(t *testing.T) {
+	u := upa88()
+	if u.N() != 64 {
+		t.Fatalf("N = %d", u.N())
+	}
+	a := u.Steering(dsp.Rad(20), dsp.Rad(-10))
+	if len(a) != 64 {
+		t.Fatalf("length %d", len(a))
+	}
+	for i, x := range a {
+		if math.Abs(cmplx.Abs(x)-1) > 1e-12 {
+			t.Fatalf("element %d magnitude %g", i, cmplx.Abs(x))
+		}
+	}
+	// Broadside is all ones.
+	b := u.Steering(0, 0)
+	for i, x := range b {
+		if cmplx.Abs(x-1) > 1e-12 {
+			t.Fatalf("broadside element %d = %v", i, x)
+		}
+	}
+}
+
+func TestUPASteeringSeparability(t *testing.T) {
+	// a(az, el)[iz*Nx+ix] = aAz[ix] · aEl[iz] with the azimuth ramp scaled
+	// by cos(el).
+	u := upa88()
+	az, el := dsp.Rad(25), dsp.Rad(15)
+	a := u.Steering(az, el)
+	kx := -2 * math.Pi * u.Dx / u.Lambda * math.Sin(az) * math.Cos(el)
+	kz := -2 * math.Pi * u.Dz / u.Lambda * math.Sin(el)
+	for iz := 0; iz < u.Nz; iz++ {
+		for ix := 0; ix < u.Nx; ix++ {
+			want := cmplx.Exp(complex(0, kx*float64(ix))) * cmplx.Exp(complex(0, kz*float64(iz)))
+			if cmplx.Abs(a[iz*u.Nx+ix]-want) > 1e-12 {
+				t.Fatalf("separability broken at (%d,%d)", ix, iz)
+			}
+		}
+	}
+}
+
+func TestUPAMatchedBeamPeak(t *testing.T) {
+	u := upa88()
+	for _, dir := range [][2]float64{{0, 0}, {20, 0}, {0, 15}, {-30, 10}} {
+		az, el := dsp.Rad(dir[0]), dsp.Rad(dir[1])
+		w := u.SingleBeam(az, el)
+		if math.Abs(w.Norm()-1) > 1e-12 {
+			t.Fatal("beam not unit norm")
+		}
+		if g := u.Gain(w, az, el); math.Abs(g-64) > 1e-9 {
+			t.Fatalf("peak gain %g want 64 at (%g, %g)", g, dir[0], dir[1])
+		}
+	}
+}
+
+func TestUPAGainFallsOffBeam(t *testing.T) {
+	u := upa88()
+	w := u.SingleBeam(0, 0)
+	peak := u.Gain(w, 0, 0)
+	for _, dir := range [][2]float64{{10, 0}, {0, 10}, {7, 7}, {-15, 5}} {
+		if g := u.Gain(w, dsp.Rad(dir[0]), dsp.Rad(dir[1])); g >= peak {
+			t.Fatalf("gain at %v not below peak", dir)
+		}
+	}
+}
+
+func TestAzimuthWeightsLiftEquivalence(t *testing.T) {
+	// The lifted azimuth beam's pattern at el=0 equals the ULA pattern
+	// times the elevation gain Nz.
+	u := upa88()
+	ula := u.AzimuthULA()
+	phi := dsp.Rad(20)
+	wAz := ula.SingleBeam(phi)
+	w, err := u.AzimuthWeights(wAz, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(w.Norm()-1) > 1e-12 {
+		t.Fatal("lifted weights not unit norm")
+	}
+	for _, deg := range []float64{-30, 0, 10, 20, 45} {
+		th := dsp.Rad(deg)
+		got := u.Gain(w, th, 0)
+		want := float64(u.Nz) * ula.Gain(wAz, th)
+		if math.Abs(got-want) > 1e-9*(1+want) {
+			t.Fatalf("θ=%g: UPA gain %g vs Nz·ULA %g", deg, got, want)
+		}
+	}
+	// Peak = Nx·Nz = full aperture.
+	if g := u.Gain(w, phi, 0); math.Abs(g-64) > 1e-9 {
+		t.Fatalf("lifted peak gain %g", g)
+	}
+	// 10·log10(Nz) elevation gain.
+	if got := u.ElevationGainDB(); math.Abs(got-9.0309) > 1e-3 {
+		t.Fatalf("elevation gain %g dB", got)
+	}
+}
+
+func TestAzimuthWeightsElevationSteer(t *testing.T) {
+	// Lifting with a non-zero elevation steers the elevation lobe there.
+	u := upa88()
+	ula := u.AzimuthULA()
+	wAz := ula.SingleBeam(0)
+	el := dsp.Rad(12)
+	w, err := u.AzimuthWeights(wAz, el)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Gain(w, 0, el) <= u.Gain(w, 0, 0) {
+		t.Fatal("elevation steering did not move the lobe")
+	}
+	if g := u.Gain(w, 0, el); math.Abs(g-64) > 0.5 {
+		t.Fatalf("steered peak %g", g)
+	}
+}
+
+func TestAzimuthWeightsValidation(t *testing.T) {
+	u := upa88()
+	if _, err := u.AzimuthWeights(make(cmx.Vector, 5), 0); err == nil {
+		t.Fatal("wrong length should fail")
+	}
+}
+
+func TestAzimuthULAMatchesGeometry(t *testing.T) {
+	u := upa88()
+	ula := u.AzimuthULA()
+	if ula.N != 8 || ula.Spacing != u.Dx || ula.Lambda != u.Lambda {
+		t.Fatalf("AzimuthULA mismatch: %+v", ula)
+	}
+	if err := ula.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUPAMultibeamLift(t *testing.T) {
+	// A 2-lobe azimuth multi-beam survives the lift: both lobes present at
+	// the steered elevation, each scaled by Nz.
+	u := upa88()
+	ula := u.AzimuthULA()
+	wAz := ula.SingleBeam(0).Add(ula.SingleBeam(dsp.Rad(30))).Normalize()
+	w, err := u.AzimuthWeights(wAz, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g0 := u.Gain(w, 0, 0)
+	g30 := u.Gain(w, dsp.Rad(30), 0)
+	if g0 < 8*3 || g30 < 8*3 {
+		t.Fatalf("lifted multi-beam lobes too weak: %g, %g", g0, g30)
+	}
+	valley := u.Gain(w, dsp.Rad(15), 0)
+	if valley > g0/2 {
+		t.Fatalf("no valley between lifted lobes: %g vs %g", valley, g0)
+	}
+}

@@ -1,0 +1,295 @@
+// Package channel turns propagation path lists into the channel observables
+// the rest of the stack consumes: per-antenna frequency-domain CSI, the
+// effective scalar channel under a given beamforming vector, and wideband
+// (multi-subcarrier) responses.
+//
+// The model follows the paper's geometric formulation (Eq. 25/26): with L
+// paths, the channel at TX antenna n and baseband frequency offset f is
+//
+//	h(f)[n] = Σ_ℓ g_ℓ · e^{−j2π(fc+f)τ_ℓ} · a(φ_ℓ)[n] · r_ℓ(f)
+//
+// where g_ℓ is the real path amplitude, τ_ℓ the time of flight, a the TX
+// steering vector, and r_ℓ the receive-side factor (1 for a quasi-omni UE,
+// or the RX array response combined with the UE beam).
+package channel
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+
+	"mmreliable/internal/antenna"
+	"mmreliable/internal/cmx"
+	"mmreliable/internal/env"
+)
+
+// PathState is a propagation path plus its time-varying link conditions.
+type PathState struct {
+	env.Path
+	ExtraLossDB float64 // additional loss (e.g. a blocker occluding the path)
+	ExtraPhase  float64 // additional phase (radians), for scripted channels
+}
+
+// Model is a frozen snapshot of the channel between one gNB array and one
+// UE. The zero value is unusable; construct with New or a helper.
+type Model struct {
+	Band env.Band
+	Tx   *antenna.ULA
+	Rx   *antenna.ULA // nil for a quasi-omni UE
+	// RxWeights is the UE combining beam; ignored when Rx is nil. When Rx
+	// is non-nil and RxWeights is nil, the UE is treated as quasi-omni
+	// (single reference element).
+	RxWeights cmx.Vector
+	Paths     []PathState
+}
+
+// New returns a channel model over the given band and TX array with the
+// supplied paths and an omni receiver.
+func New(band env.Band, tx *antenna.ULA, paths []env.Path) *Model {
+	ps := make([]PathState, len(paths))
+	for i, p := range paths {
+		ps[i] = PathState{Path: p}
+	}
+	return &Model{Band: band, Tx: tx, Paths: ps}
+}
+
+// Validate checks internal consistency.
+func (m *Model) Validate() error {
+	if m.Tx == nil {
+		return fmt.Errorf("channel: nil TX array")
+	}
+	if err := m.Tx.Validate(); err != nil {
+		return err
+	}
+	if m.Rx != nil {
+		if err := m.Rx.Validate(); err != nil {
+			return err
+		}
+		if m.RxWeights != nil && len(m.RxWeights) != m.Rx.N {
+			return fmt.Errorf("channel: RX weights length %d != %d elements", len(m.RxWeights), m.Rx.N)
+		}
+	}
+	if m.Band.CarrierHz <= 0 {
+		return fmt.Errorf("channel: non-positive carrier %g", m.Band.CarrierHz)
+	}
+	return nil
+}
+
+// PathGain returns the scalar complex gain of path index ℓ at baseband
+// frequency offset fOff (Hz from the carrier), including the receive-side
+// factor.
+func (m *Model) PathGain(l int, fOff float64) complex128 {
+	p := m.Paths[l]
+	amp := math.Pow(10, -(p.LossDB+p.ExtraLossDB)/20)
+	phase := -2*math.Pi*(m.Band.CarrierHz+fOff)*p.Delay + p.ExtraPhase
+	if p.PhasePi {
+		phase += math.Pi
+	}
+	g := cmplx.Rect(amp, phase)
+	return g * m.rxFactor(p.AoA)
+}
+
+func (m *Model) rxFactor(aoa float64) complex128 {
+	if m.Rx == nil || m.RxWeights == nil {
+		return 1
+	}
+	return m.Rx.Steering(aoa).Dot(m.RxWeights)
+}
+
+// PerAntennaCSI returns h(fOff)[n] for each TX antenna n — the quantity the
+// oracle beamformer needs and that real analog arrays cannot observe
+// directly (one RF chain).
+func (m *Model) PerAntennaCSI(fOff float64) cmx.Vector {
+	h := make(cmx.Vector, m.Tx.N)
+	for l := range m.Paths {
+		g := m.PathGain(l, fOff)
+		if g == 0 {
+			continue
+		}
+		a := m.Tx.Steering(m.Paths[l].AoD)
+		h.AddScaled(g, a)
+	}
+	return h
+}
+
+// Effective returns the scalar effective channel h(fOff)ᵀw under TX beam w.
+// This is what a single-RF-chain receiver observes on a pilot.
+func (m *Model) Effective(w cmx.Vector, fOff float64) complex128 {
+	var y complex128
+	for l := range m.Paths {
+		g := m.PathGain(l, fOff)
+		if g == 0 {
+			continue
+		}
+		y += g * m.Tx.Steering(m.Paths[l].AoD).Dot(w)
+	}
+	return y
+}
+
+// EffectiveWideband evaluates Effective at each frequency offset.
+func (m *Model) EffectiveWideband(w cmx.Vector, fOffs []float64) cmx.Vector {
+	out := make(cmx.Vector, len(fOffs))
+	for i, f := range fOffs {
+		out[i] = m.Effective(w, f)
+	}
+	return out
+}
+
+// SubcarrierOffsets returns nsc baseband frequency offsets uniformly
+// spanning bandwidth bw, centered on the carrier.
+func SubcarrierOffsets(bw float64, nsc int) []float64 {
+	out := make([]float64, nsc)
+	if nsc == 1 {
+		return out
+	}
+	step := bw / float64(nsc)
+	for i := range out {
+		out[i] = -bw/2 + (float64(i)+0.5)*step
+	}
+	return out
+}
+
+// Clone returns a deep copy of the model (paths copied, arrays shared).
+func (m *Model) Clone() *Model {
+	out := *m
+	out.Paths = append([]PathState(nil), m.Paths...)
+	if m.RxWeights != nil {
+		out.RxWeights = m.RxWeights.Clone()
+	}
+	return &out
+}
+
+// StrongestPath returns the index of the path with the lowest total loss,
+// or −1 if the model has no paths with finite loss.
+func (m *Model) StrongestPath() int {
+	best, idx := math.Inf(1), -1
+	for i, p := range m.Paths {
+		if l := p.LossDB + p.ExtraLossDB; l < best {
+			best, idx = l, i
+		}
+	}
+	return idx
+}
+
+// RelativeGain returns (δ, σ): the amplitude ratio and phase of path l
+// relative to path ref, evaluated at the carrier (fOff = 0). This is the
+// ground truth the two-probe estimator (§3.3) tries to recover.
+func (m *Model) RelativeGain(l, ref int) (delta, sigma float64) {
+	gl := m.PathGain(l, 0)
+	gr := m.PathGain(ref, 0)
+	if gr == 0 {
+		return 0, 0
+	}
+	r := gl / gr
+	return cmplx.Abs(r), cmplx.Phase(r)
+}
+
+// PathSpec describes one path of a scripted (hand-built) channel.
+type PathSpec struct {
+	AoDDeg    float64 // departure angle in degrees
+	RelAttDB  float64 // power attenuation relative to the reference path
+	PhaseRad  float64 // phase at the carrier relative to the reference path
+	DelayNs   float64 // absolute delay in nanoseconds
+	AbsLossDB float64 // absolute loss of the reference scale (applied to all)
+}
+
+// FromSpecs builds a deterministic scripted channel: the first spec is the
+// reference path; each path's carrier phase is exactly PhaseRad relative to
+// the reference (delays only shape the wideband response, not the carrier
+// phase, which makes test assertions exact).
+func FromSpecs(band env.Band, tx *antenna.ULA, refLossDB float64, specs []PathSpec) *Model {
+	m := &Model{Band: band, Tx: tx}
+	for _, s := range specs {
+		delay := s.DelayNs * 1e-9
+		// Cancel the carrier-phase contribution of the delay so the net
+		// carrier phase equals PhaseRad.
+		extra := s.PhaseRad + 2*math.Pi*band.CarrierHz*delay
+		m.Paths = append(m.Paths, PathState{
+			Path: env.Path{
+				AoD:    s.AoDDeg * math.Pi / 180,
+				Delay:  delay,
+				LossDB: refLossDB + s.RelAttDB + s.AbsLossDB,
+			},
+			ExtraPhase: extra,
+		})
+	}
+	return m
+}
+
+// ClusterParams controls the stochastic sparse-cluster channel generator.
+type ClusterParams struct {
+	MinPaths, MaxPaths int     // inclusive path-count range (≥1)
+	LOSLossDB          float64 // loss of the direct path
+	RelAttMeanDB       float64 // mean extra attenuation of reflected paths
+	RelAttStdDB        float64 // spread of reflected-path attenuation
+	MaxExcessDelayNs   float64 // reflected-path excess delay upper bound
+	SectorDeg          float64 // angular sector width for AoDs (centered 0)
+	MinSepDeg          float64 // minimum angular separation between paths
+}
+
+// DefaultClusterParams matches the paper's measured statistics: 2–3 viable
+// paths, reflected paths 1–10 dB below the direct with ~5–7 dB median.
+func DefaultClusterParams() ClusterParams {
+	return ClusterParams{
+		MinPaths:         2,
+		MaxPaths:         3,
+		LOSLossDB:        85,
+		RelAttMeanDB:     6,
+		RelAttStdDB:      2.5,
+		MaxExcessDelayNs: 60,
+		SectorDeg:        120,
+	}
+}
+
+// Cluster draws a random sparse multipath channel. The direct path departs
+// at a random angle in the sector; reflected paths get independent angles,
+// attenuations (truncated at ≥1 dB), excess delays, and uniform phases.
+func Cluster(rng *rand.Rand, band env.Band, tx *antenna.ULA, p ClusterParams) *Model {
+	if p.MinPaths < 1 || p.MaxPaths < p.MinPaths {
+		panic(fmt.Sprintf("channel: bad cluster path range [%d, %d]", p.MinPaths, p.MaxPaths))
+	}
+	n := p.MinPaths + rng.Intn(p.MaxPaths-p.MinPaths+1)
+	sector := p.SectorDeg * math.Pi / 180
+	minSep := p.MinSepDeg * math.Pi / 180
+	var used []float64
+	angle := func() float64 {
+		for attempt := 0; ; attempt++ {
+			a := (rng.Float64() - 0.5) * sector
+			ok := true
+			for _, u := range used {
+				if math.Abs(a-u) < minSep {
+					ok = false
+					break
+				}
+			}
+			if ok || attempt > 100 {
+				used = append(used, a)
+				return a
+			}
+		}
+	}
+	m := &Model{Band: band, Tx: tx}
+	losDelay := 30e-9 + 100e-9*rng.Float64()
+	m.Paths = append(m.Paths, PathState{Path: env.Path{
+		AoD:    angle(),
+		Delay:  losDelay,
+		LossDB: p.LOSLossDB,
+	}})
+	for i := 1; i < n; i++ {
+		att := p.RelAttMeanDB + p.RelAttStdDB*rng.NormFloat64()
+		if att < 1 {
+			att = 1
+		}
+		m.Paths = append(m.Paths, PathState{
+			Path: env.Path{
+				AoD:    angle(),
+				Delay:  losDelay + rng.Float64()*p.MaxExcessDelayNs*1e-9,
+				LossDB: p.LOSLossDB + att,
+				Refl:   1,
+			},
+			ExtraPhase: rng.Float64() * 2 * math.Pi,
+		})
+	}
+	return m
+}

@@ -1,0 +1,105 @@
+package cmx
+
+import (
+	"fmt"
+	"math/cmplx"
+)
+
+// ErrSingular reports a numerically singular system.
+var ErrSingular = fmt.Errorf("cmx: singular matrix")
+
+// Solve solves the square linear system A·x = b using Gaussian elimination
+// with partial pivoting. A and b are not modified. It returns ErrSingular
+// when a pivot underflows.
+func Solve(a *Matrix, b Vector) (Vector, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("cmx: Solve requires a square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	mustSameLen(a.Rows, len(b))
+	n := a.Rows
+	// Augmented working copies.
+	m := a.Clone()
+	x := b.Clone()
+
+	const tiny = 1e-300
+	for col := 0; col < n; col++ {
+		// Partial pivot: find the row with the largest magnitude in this column.
+		pivot, pmag := col, cmplx.Abs(m.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if mag := cmplx.Abs(m.At(r, col)); mag > pmag {
+				pivot, pmag = r, mag
+			}
+		}
+		if pmag < tiny {
+			return nil, ErrSingular
+		}
+		if pivot != col {
+			swapRows(m, pivot, col)
+			x[pivot], x[col] = x[col], x[pivot]
+		}
+		inv := 1 / m.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := m.At(r, col) * inv
+			if f == 0 {
+				continue
+			}
+			m.Set(r, col, 0)
+			for c := col + 1; c < n; c++ {
+				m.Set(r, c, m.At(r, c)-f*m.At(col, c))
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= m.At(i, j) * x[j]
+		}
+		x[i] = s / m.At(i, i)
+	}
+	return x, nil
+}
+
+func swapRows(m *Matrix, i, j int) {
+	ri := m.Data[i*m.Cols : (i+1)*m.Cols]
+	rj := m.Data[j*m.Cols : (j+1)*m.Cols]
+	for k := range ri {
+		ri[k], rj[k] = rj[k], ri[k]
+	}
+}
+
+// LeastSquares solves min_x ‖A·x − b‖² via the normal equations
+// (AᴴA)x = Aᴴb. A must have at least as many rows as columns and full
+// column rank; otherwise ErrSingular is returned.
+func LeastSquares(a *Matrix, b Vector) (Vector, error) {
+	return RidgeLeastSquares(a, b, 0)
+}
+
+// RidgeLeastSquares solves the Tikhonov-regularized least squares problem
+//
+//	min_x ‖A·x − b‖² + λ‖x‖²
+//
+// via (AᴴA + λI)x = Aᴴb. λ must be ≥ 0. This is the solver used by the
+// super-resolution module (Eq. 23 of the paper), where A is a sinc
+// dictionary with a handful of columns.
+func RidgeLeastSquares(a *Matrix, b Vector, lambda float64) (Vector, error) {
+	if lambda < 0 {
+		return nil, fmt.Errorf("cmx: negative ridge parameter %g", lambda)
+	}
+	mustSameLen(a.Rows, len(b))
+	g := a.Gram()
+	if lambda > 0 {
+		for i := 0; i < g.Rows; i++ {
+			g.Set(i, i, g.At(i, i)+complex(lambda, 0))
+		}
+	}
+	rhs := a.HmulVec(b)
+	return Solve(g, rhs)
+}
+
+// Residual returns b − A·x, useful for checking solver quality in tests and
+// for the super-resolution model-order search.
+func Residual(a *Matrix, x, b Vector) Vector {
+	return b.Sub(a.MulVec(x))
+}

@@ -1,0 +1,167 @@
+package handover
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mmreliable/internal/antenna"
+	"mmreliable/internal/core/manager"
+	"mmreliable/internal/env"
+	"mmreliable/internal/events"
+	"mmreliable/internal/link"
+	"mmreliable/internal/motion"
+	"mmreliable/internal/nr"
+	"mmreliable/internal/sim"
+)
+
+// twoGNBScenario builds an open area with two gNBs on opposite sides of the
+// UE, plus a reflector near each so both cells support multi-beams.
+func twoGNBScenario(blockA bool) *sim.MultiScenario {
+	e := env.NewEnvironment(env.Band28GHz(),
+		env.Wall{Seg: env.Segment{A: env.Vec2{X: -5, Y: 4}, B: env.Vec2{X: 25, Y: 4}}, Mat: env.Metal},
+	)
+	e.FrontHalfOnly = false // gNBs face opposite directions; keep it simple
+	sc := &sim.MultiScenario{
+		Env: e,
+		GNBs: []env.Pose{
+			{Pos: env.Vec2{X: 0, Y: 0}, Facing: 0},        // gNB A, west
+			{Pos: env.Vec2{X: 20, Y: 0}, Facing: math.Pi}, // gNB B, east
+		},
+		UE:       motion.Static{Pose: env.Pose{Pos: env.Vec2{X: 8, Y: 0.5}, Facing: 0}},
+		Duration: 1.0,
+		Num:      nr.Mu3(),
+		TxArray:  antenna.NewULA(8, 28e9),
+		MaxPaths: 3,
+	}
+	if blockA {
+		// Everything from gNB A dies for 400 ms mid-run: an AllPaths event
+		// would also hit gNB B, so block gNB A's paths individually
+		// (indices 0..MaxPaths-1 address gNB 0's paths).
+		for k := 0; k < sc.MaxPaths; k++ {
+			sc.Blockage = append(sc.Blockage, events.Event{
+				PathIndex: k, Start: 0.3, Duration: 0.4, DepthDB: 45,
+				RampTime: events.RampFor(45),
+			})
+		}
+	}
+	return sc
+}
+
+func newController(t *testing.T, n int, seed int64) *Controller {
+	t.Helper()
+	c, err := New("ho", n, antenna.NewULA(8, 28e9), link.DefaultBudget(), nr.Mu3(), DefaultConfig(), rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := New("x", 0, antenna.NewULA(8, 28e9), link.DefaultBudget(), nr.Mu3(), DefaultConfig(), rng); err == nil {
+		t.Fatal("0 gNBs should fail")
+	}
+	cfg := DefaultConfig()
+	cfg.OutageConfirm = 0
+	if _, err := New("x", 2, antenna.NewULA(8, 28e9), link.DefaultBudget(), nr.Mu3(), cfg, rng); err == nil {
+		t.Fatal("zero confirm should fail")
+	}
+}
+
+func TestNoHandoverOnHealthyLink(t *testing.T) {
+	c := newController(t, 2, 2)
+	out, err := (sim.Runner{}).RunMulti(twoGNBScenario(false), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Handovers != 0 {
+		t.Fatalf("spurious handovers: %d", c.Handovers)
+	}
+	if c.Serving() != 0 {
+		t.Fatalf("serving moved to %d", c.Serving())
+	}
+	if out["ho"].Summary.Reliability < 0.9 {
+		t.Fatalf("healthy reliability %g", out["ho"].Summary.Reliability)
+	}
+}
+
+func TestHandoverOnServingCellDeath(t *testing.T) {
+	c := newController(t, 2, 3)
+	out, err := (sim.Runner{}).RunMulti(twoGNBScenario(true), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Handovers == 0 {
+		t.Fatal("no handover despite serving-cell death")
+	}
+	if c.Serving() != 1 {
+		t.Fatalf("serving = %d, want gNB B", c.Serving())
+	}
+	ho := out["ho"].Summary
+
+	// Baseline: the same manager pinned to gNB A rides the outage down.
+	mgr, err := manager.New("pinned", antenna.NewULA(8, 28e9), link.DefaultBudget(), nr.Mu3(), manager.DefaultConfig(), rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	outP, err := (sim.Runner{}).RunMulti(twoGNBScenario(true), sim.Pinned{Scheme: mgr, GNB: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pinned := outP["pinned"].Summary
+	if ho.Reliability <= pinned.Reliability {
+		t.Fatalf("handover reliability %g not above pinned %g", ho.Reliability, pinned.Reliability)
+	}
+	// The 400 ms total blackout bounds the pinned reliability near 0.6.
+	if pinned.Reliability > 0.75 {
+		t.Fatalf("pinned baseline suspiciously healthy: %g", pinned.Reliability)
+	}
+}
+
+func TestEvaluationHysteresis(t *testing.T) {
+	// With a single gNB there is never anything to evaluate.
+	c := newController(t, 1, 4)
+	sc := twoGNBScenario(true)
+	sc.GNBs = sc.GNBs[:1]
+	if _, err := (sim.Runner{}).RunMulti(sc, c); err != nil {
+		t.Fatal(err)
+	}
+	if c.Evaluations != 0 || c.Handovers != 0 {
+		t.Fatalf("single-gNB controller evaluated/handed over: %d/%d", c.Evaluations, c.Handovers)
+	}
+}
+
+func TestPinnedAdapter(t *testing.T) {
+	mgr, err := manager.New("m", antenna.NewULA(8, 28e9), link.DefaultBudget(), nr.Mu3(), manager.DefaultConfig(), rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := sim.Pinned{Scheme: mgr, GNB: 1}
+	if got := p.Name(); got != "m" {
+		t.Fatalf("name %q", got)
+	}
+	out, err := (sim.Runner{}).RunMulti(twoGNBScenario(false), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["m"].Summary.MeanSNRdB < 10 {
+		t.Fatalf("pinned-to-B SNR %g", out["m"].Summary.MeanSNRdB)
+	}
+}
+
+func TestMultiScenarioValidation(t *testing.T) {
+	sc := twoGNBScenario(false)
+	sc.MaxPaths = 0
+	if _, err := (sim.Runner{}).RunMulti(sc, newController(t, 2, 6)); err == nil {
+		t.Fatal("MaxPaths=0 should fail for multi scenarios")
+	}
+	sc2 := twoGNBScenario(false)
+	sc2.GNBs = nil
+	if _, err := (sim.Runner{}).RunMulti(sc2, newController(t, 2, 7)); err == nil {
+		t.Fatal("no gNBs should fail")
+	}
+	if _, err := (sim.Runner{}).RunMulti(twoGNBScenario(false)); err == nil {
+		t.Fatal("no schemes should fail")
+	}
+}

@@ -1,0 +1,151 @@
+package hybrid
+
+import (
+	"math"
+	"testing"
+
+	"mmreliable/internal/antenna"
+	"mmreliable/internal/channel"
+	"mmreliable/internal/env"
+	"mmreliable/internal/link"
+)
+
+func ula8() *antenna.ULA { return antenna.NewULA(8, 28e9) }
+
+// twoUsers builds two users whose strongest paths COLLIDE in angle (both
+// near 0°) but who each own a clean alternate path — the configuration
+// where interference-aware selection shines.
+func twoUsers() []*channel.Model {
+	u1 := channel.FromSpecs(env.Band28GHz(), ula8(), 80, []channel.PathSpec{
+		{AoDDeg: 0},
+		{AoDDeg: -40, RelAttDB: 3, PhaseRad: 1.0, DelayNs: 5},
+	})
+	u2 := channel.FromSpecs(env.Band28GHz(), ula8(), 80, []channel.PathSpec{
+		{AoDDeg: 4}, // 4° from user 1's LOS: inside the 8-element beam
+		{AoDDeg: 45, RelAttDB: 3, PhaseRad: -0.5, DelayNs: 7},
+	})
+	return []*channel.Model{u1, u2}
+}
+
+func TestNaiveCollisionIsBad(t *testing.T) {
+	users := twoUsers()
+	naive, err := NaiveBeams(ula8(), users, link.DefaultBudget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both chains fire into nearly the same direction: at least one user
+	// drowns in interference.
+	worst := math.Min(naive.SINRdB[0], naive.SINRdB[1])
+	if worst > 6 {
+		t.Fatalf("naive worst-user SINR %g dB — expected an interference collision", worst)
+	}
+}
+
+func TestSelectBeamsResolvesCollision(t *testing.T) {
+	users := twoUsers()
+	budget := link.DefaultBudget()
+	naive, err := NaiveBeams(ula8(), users, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aware, err := SelectBeams(ula8(), users, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aware.SumRate <= naive.SumRate {
+		t.Fatalf("aware sum rate %g not above naive %g", aware.SumRate, naive.SumRate)
+	}
+	// The selector must move at least one user off the colliding direction.
+	if aware.PathIdx[0] == 0 && aware.PathIdx[1] == 0 {
+		t.Fatal("selector kept both users on colliding paths")
+	}
+	// Both users decodable.
+	for u, s := range aware.SINRdB {
+		if s < link.OutageThresholdDB {
+			t.Fatalf("user %d SINR %g below threshold after selection", u, s)
+		}
+	}
+}
+
+func TestSpatialMultiplexingBeatsTDMWhenSeparated(t *testing.T) {
+	// Two users at well-separated angles: serving both at once (even at
+	// half power each) beats giving each half the air time.
+	users := []*channel.Model{
+		channel.FromSpecs(env.Band28GHz(), ula8(), 80, []channel.PathSpec{{AoDDeg: -30}}),
+		channel.FromSpecs(env.Band28GHz(), ula8(), 80, []channel.PathSpec{{AoDDeg: 35}}),
+	}
+	budget := link.DefaultBudget()
+	aware, err := SelectBeams(ula8(), users, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tdm, err := TDMRate(ula8(), users, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aware.SumRate <= tdm {
+		t.Fatalf("spatial multiplexing %g b/s/Hz not above TDM %g", aware.SumRate, tdm)
+	}
+}
+
+func TestWithMultibeamKeepsInterferenceStructure(t *testing.T) {
+	users := twoUsers()
+	budget := link.DefaultBudget()
+	aware, err := SelectBeams(ula8(), users, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := append([]float64(nil), aware.SINRdB...)
+	if err := aware.WithMultibeam(ula8(), users, budget, 10); err != nil {
+		t.Fatal(err)
+	}
+	// No user may fall below threshold from the upgrade.
+	for u, s := range aware.SINRdB {
+		if s < link.OutageThresholdDB {
+			t.Fatalf("user %d SINR %g after multibeam upgrade (was %g)", u, s, before[u])
+		}
+	}
+	// Each user still has a unit-norm weight vector.
+	for u, w := range aware.Weights {
+		if math.Abs(w.Norm()-1) > 1e-9 {
+			t.Fatalf("user %d weights norm %g", u, w.Norm())
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	budget := link.DefaultBudget()
+	if _, err := SelectBeams(ula8(), nil, budget); err == nil {
+		t.Fatal("no users should fail")
+	}
+	if _, err := NaiveBeams(ula8(), nil, budget); err == nil {
+		t.Fatal("no users should fail")
+	}
+	if _, err := TDMRate(ula8(), nil, budget); err == nil {
+		t.Fatal("no users should fail")
+	}
+	empty := &channel.Model{Tx: ula8(), Band: env.Band28GHz()}
+	if _, err := SelectBeams(ula8(), []*channel.Model{empty}, budget); err == nil {
+		t.Fatal("pathless user should fail")
+	}
+	a := Assignment{PathIdx: []int{0}}
+	if err := a.WithMultibeam(ula8(), twoUsers(), budget, 10); err == nil {
+		t.Fatal("mismatched assignment should fail")
+	}
+}
+
+func TestSingleUserDegeneratesToBeamSelection(t *testing.T) {
+	users := twoUsers()[:1]
+	budget := link.DefaultBudget()
+	a, err := SelectBeams(ula8(), users, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With no interferers, the selector picks the strongest path.
+	if a.PathIdx[0] != users[0].StrongestPath() {
+		t.Fatalf("single user picked path %d", a.PathIdx[0])
+	}
+	if a.SINRdB[0] < 20 {
+		t.Fatalf("single-user SINR %g", a.SINRdB[0])
+	}
+}

@@ -1,0 +1,67 @@
+package manager
+
+import (
+	"math/rand"
+	"testing"
+
+	"mmreliable/internal/antenna"
+	"mmreliable/internal/link"
+	"mmreliable/internal/nr"
+	"mmreliable/internal/sim"
+)
+
+// TestHierarchicalTrainingEstablishes verifies the logarithmic training
+// front end produces a working multi-beam on the reflective indoor link,
+// with fewer training slots than the exhaustive sweep.
+func TestHierarchicalTrainingEstablishes(t *testing.T) {
+	run := func(hier bool, name string) (*Manager, float64) {
+		cfg := DefaultConfig()
+		cfg.HierarchicalTraining = hier
+		mgr, err := New(name, antenna.NewULA(8, 28e9), link.DefaultBudget(), nr.Mu3(), cfg, rand.New(rand.NewSource(31)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := (sim.Runner{Warmup: 0.05}).Run(staticScenario(0.3), mgr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mgr, out[name].Summary.MeanSNRdB
+	}
+	hMgr, hSNR := run(true, "hier")
+	eMgr, eSNR := run(false, "exh")
+
+	if hMgr.NumBeams() < 2 {
+		t.Fatalf("hierarchical training established %d beams", hMgr.NumBeams())
+	}
+	if hMgr.TrainingSlots >= eMgr.TrainingSlots {
+		t.Fatalf("hierarchical training slots %d not below exhaustive %d",
+			hMgr.TrainingSlots, eMgr.TrainingSlots)
+	}
+	// The refinement loop polishes the coarser initial angles: steady-state
+	// SNR within ~2 dB of the exhaustive path.
+	if hSNR < eSNR-2 {
+		t.Fatalf("hierarchical SNR %g dB vs exhaustive %g dB", hSNR, eSNR)
+	}
+	if hSNR < 15 {
+		t.Fatalf("hierarchical SNR %g dB", hSNR)
+	}
+}
+
+// TestHierarchicalSurvivesBlockage: the faster training must not cost the
+// multi-beam its blockage resilience.
+func TestHierarchicalSurvivesBlockage(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.HierarchicalTraining = true
+	mgr, err := New("hier", antenna.NewULA(8, 28e9), link.DefaultBudget(), nr.Mu3(), cfg, rand.New(rand.NewSource(32)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := sim.WalkingBlockerIndoor(32)
+	out, err := (sim.Runner{Warmup: sim.StandardWarmup}).Run(sc, mgr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := out["hier"].Summary.Reliability; rel < 0.9 {
+		t.Fatalf("reliability %g with hierarchical training", rel)
+	}
+}

@@ -1,0 +1,1021 @@
+// Package manager ties mmReliable's pieces into the Fig. 9 state machine:
+// initial beam training establishes the viable path angles; two-probe
+// estimation builds the constructive multi-beam; a maintenance loop driven
+// by CSI-RS probes runs super-resolution per-beam tracking, reallocates
+// power away from blocked beams, re-aligns drifting beams with one
+// ambiguity probe each, and falls back to full retraining only when the
+// link is beyond local repair.
+//
+// The manager implements sim.Scheme: the surrounding runner hands it the
+// true channel once per slot, and it only observes that channel through its
+// own sounder probes (magnitude-corrupting CFO/SFO included), spending
+// training slots for every sounding it issues.
+package manager
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+
+	"mmreliable/internal/antenna"
+	"mmreliable/internal/channel"
+	"mmreliable/internal/cmx"
+	"mmreliable/internal/core/multibeam"
+	"mmreliable/internal/core/probe"
+	"mmreliable/internal/core/superres"
+	"mmreliable/internal/core/track"
+	"mmreliable/internal/dsp"
+	"mmreliable/internal/link"
+	"mmreliable/internal/nr"
+	"mmreliable/internal/phasedarray"
+	"mmreliable/internal/sim"
+)
+
+// Config tunes the manager.
+type Config struct {
+	// MaxBeams is the maximum multi-beam order (paper: 3 beams reach 92%
+	// of the oracle).
+	MaxBeams int
+	// MaintainPeriod is the CSI-RS maintenance cadence in seconds
+	// (default 20 ms, one SSB period).
+	MaintainPeriod float64
+	// CCRefreshPeriod is the cadence of the lightweight constructive-
+	// combining phase refresh (default 1 ms). One CSI-RS probe's CIR
+	// yields every beam's complex amplitude with a COMMON CFO phase, so
+	// the relative per-beam phases are observable from a single probe —
+	// fast enough to follow the per-path phase drift of a moving user,
+	// which rotates far too quickly for the 20 ms maintenance loop.
+	CCRefreshPeriod float64
+	// CodebookSize and ScanRangeDeg define the SSB training sweep.
+	CodebookSize int
+	ScanRangeDeg float64
+	// DynRangeDB is the peak-selection dynamic range during training.
+	DynRangeDB float64
+	// MinSepIdx is the minimum codebook separation between selected peaks.
+	MinSepIdx int
+	// MinRefineDeg suppresses re-alignment below this deviation.
+	MinRefineDeg float64
+	// RetrainBackoff is the wait before re-attempting a failed training.
+	RetrainBackoff float64
+	// SSBPeriod gates full retraining starts to SSB occasions (5G NR
+	// default 20 ms); CSI-RS maintenance is not gated.
+	SSBPeriod float64
+	// NumSC is the sounding subcarrier count (power of two).
+	NumSC int
+	// Superres and Track tune the respective modules.
+	Superres superres.Config
+	Track    track.Config
+	// Quant is the front-end weight quantizer.
+	Quant antenna.Quantizer
+	// HierarchicalTraining switches the initial/returning beam training
+	// from the exhaustive SSB sweep to the logarithmic hierarchical search
+	// (wide beams descending into the strongest sectors) — roughly 3×
+	// fewer probes at slightly coarser initial angles, which the §4.2
+	// refinement loop then polishes.
+	HierarchicalTraining bool
+	// SelectionTolDB is the SNR sacrifice accepted to keep an extra lobe
+	// during beam-set selection: more lobes mean more blockage resilience
+	// (the paper's reliability-first design), so the largest beam set
+	// within this many dB of the best-measured set wins.
+	SelectionTolDB float64
+	// ProactiveTracking enables the §4.2 mobility loop. Disabling it (the
+	// paper's "mmReliable w/o tracking" ablation, Fig. 18a) keeps blockage
+	// reallocation but never re-aligns angles.
+	ProactiveTracking bool
+	// ConstructiveCombining enables per-beam phase/amplitude optimization.
+	// Disabling it (the Fig. 17c "tracking w/o CC" ablation) uses equal
+	// amplitude, zero phase lobes.
+	ConstructiveCombining bool
+}
+
+// Outage-reaction confirmation windows (slots): an emergency maintenance
+// round fires after a few bad slots; a full retrain only after the outage
+// has outlasted a typical fading dip (retraining costs tens of ms, so
+// waiting out a short fade is cheaper than retraining into it).
+const (
+	emergencyConfirmSlots = 4
+	retrainConfirmSlots   = 60
+)
+
+// DefaultConfig returns the paper-matched configuration.
+func DefaultConfig() Config {
+	return Config{
+		MaxBeams:        3,
+		MaintainPeriod:  20e-3,
+		CCRefreshPeriod: 1e-3,
+		CodebookSize:    33,
+		ScanRangeDeg:    60,
+		// 10 dB keeps the paper's 1–10 dB reflectors while rejecting the
+		// −12.8 dB sidelobes of an 8-element scanning beam.
+		DynRangeDB: 10,
+		// Mask radius must cover the scanning beam's main lobe (±11.25° at
+		// the default 3.75° codebook step for an 8-element array).
+		MinSepIdx:             4,
+		MinRefineDeg:          0.75,
+		RetrainBackoff:        50e-3,
+		SSBPeriod:             20e-3,
+		NumSC:                 64,
+		SelectionTolDB:        2.0,
+		Superres:              superres.DefaultConfig(),
+		Track:                 track.DefaultConfig(),
+		Quant:                 antenna.DefaultQuantizer(),
+		ProactiveTracking:     true,
+		ConstructiveCombining: true,
+	}
+}
+
+// Manager is the mmReliable beam manager for one gNB-UE link.
+type Manager struct {
+	name    string
+	cfg     Config
+	u       *antenna.ULA
+	budget  link.Budget
+	num     nr.Numerology
+	sounder *nr.Sounder
+	fe      *phasedarray.FrontEnd
+	cb      *antenna.Codebook
+	offsets []float64
+
+	// Beam state.
+	angles    []float64 // per-beam steering angles (reference first)
+	relDelays []float64 // per-beam ToF relative to the reference
+	beams     []multibeam.Beam
+	active    []bool // false = blocked, power reallocated away
+	mags      [][]float64
+	rssAnchor []float64 // single-beam RSS at last (re)alignment
+	w         cmx.Vector
+	tracker   *track.Tracker
+	needAnch  bool
+
+	// Directional-UE state (§4.4); nil/zero for a quasi-omni UE. The UE
+	// forms its own multi-beam with one lobe per gNB beam (Fig. 12).
+	ueArr    *antenna.ULA
+	ueCB     *antenna.Codebook
+	ueW      cmx.Vector
+	ueAngles []float64 // UE lobe angle per gNB beam
+	ueAmps   []float64 // UE lobe amplitude per gNB beam (MRC weighting)
+
+	// Operation scheduling.
+	trainRemaining int
+	onTrainDone    func(t float64, m *channel.Model)
+	nextMaintain   float64
+	nextCCRefresh  float64
+	emergencyTried bool
+	badSlots       int     // consecutive below-threshold data slots
+	trainDebt      float64 // fractional training slots owed by symbol-level probes
+
+	// Stats.
+	TrainingSlots int
+	Retrains      int
+	Refinements   int
+	BlockageDrops int
+	// RetrainReasons counts full-retrain triggers by cause, for
+	// diagnostics ("data-outage", "superres", "tracker", "all-blocked",
+	// "compose", "initial", "sweep-empty", "estimate").
+	RetrainReasons map[string]int
+}
+
+// New builds a manager. rng seeds the sounder's noise and impairments.
+func New(name string, u *antenna.ULA, budget link.Budget, num nr.Numerology, cfg Config, rng *rand.Rand) (*Manager, error) {
+	if cfg.MaxBeams < 1 {
+		return nil, fmt.Errorf("manager: MaxBeams %d < 1", cfg.MaxBeams)
+	}
+	if cfg.MaintainPeriod <= 0 || cfg.RetrainBackoff <= 0 {
+		return nil, fmt.Errorf("manager: non-positive periods")
+	}
+	s, err := nr.NewSounder(num, budget.BandwidthHz, cfg.NumSC, budget.NoiseToTxAmpRatio(), nr.DefaultImpairments(), rng)
+	if err != nil {
+		return nil, err
+	}
+	scan := dsp.Rad(cfg.ScanRangeDeg)
+	mgr := &Manager{
+		name:    name,
+		cfg:     cfg,
+		u:       u,
+		budget:  budget,
+		num:     num,
+		sounder: s,
+		fe:      phasedarray.New(u, cfg.Quant),
+		cb:      antenna.DFTCodebook(u, cfg.CodebookSize, -scan, scan),
+		offsets: channel.SubcarrierOffsets(budget.BandwidthHz, cfg.NumSC),
+	}
+	return mgr, nil
+}
+
+// Name implements sim.Scheme.
+func (g *Manager) Name() string { return g.name }
+
+// NumBeams returns the current multi-beam order (0 before establishment).
+func (g *Manager) NumBeams() int { return len(g.beams) }
+
+// ActiveWeights returns the currently transmitted weights (nil before
+// establishment).
+func (g *Manager) ActiveWeights() cmx.Vector { return g.fe.Active() }
+
+// Reset discards all beam state so the next Step performs a full initial
+// training — used by a handover controller when this manager's gNB becomes
+// the serving cell after time away.
+func (g *Manager) Reset() {
+	g.w = nil
+	g.fe = phasedarray.New(g.u, g.cfg.Quant)
+	g.fullReset()
+	g.trainRemaining = 0
+	g.onTrainDone = nil
+	g.trainDebt = 0
+	g.badSlots = 0
+	g.emergencyTried = false
+}
+
+// Step implements sim.Scheme.
+func (g *Manager) Step(t float64, m *channel.Model) sim.Slot {
+	g.bindUE(m)
+	// Pending multi-slot training operation?
+	if g.trainRemaining > 0 {
+		g.trainRemaining--
+		g.TrainingSlots++
+		if g.trainRemaining == 0 && g.onTrainDone != nil {
+			done := g.onTrainDone
+			g.onTrainDone = nil
+			done(t, m)
+		}
+		return sim.Slot{SNRdB: g.snr(m), Training: true}
+	}
+	if g.w == nil {
+		// Not established: start (or restart) training.
+		g.beginRetrain(t)
+		g.trainRemaining--
+		g.TrainingSlots++
+		if g.trainRemaining == 0 && g.onTrainDone != nil {
+			done := g.onTrainDone
+			g.onTrainDone = nil
+			done(t, m)
+		}
+		return sim.Slot{SNRdB: math.Inf(-1), Training: true}
+	}
+	// Maintenance and CC refresh run inline: their CSI-RS probes occupy one
+	// OFDM symbol each (§5.2), multiplexed with data in the same slot, and
+	// are charged to a fractional training-slot debt.
+	if t >= g.nextMaintain {
+		g.nextMaintain = t + g.cfg.MaintainPeriod
+		g.nextCCRefresh = t + g.cfg.CCRefreshPeriod
+		g.runWithDebt(func() { g.maintain(t, m) })
+	} else if g.cfg.ConstructiveCombining && g.cfg.CCRefreshPeriod > 0 &&
+		g.ccUpdatable() > 0 && t >= g.nextCCRefresh {
+		// Lightweight CC phase refresh: only worth a probe when at least
+		// one beam's phase is actually updatable (delay-separable from
+		// every other active beam).
+		g.nextCCRefresh = t + g.cfg.CCRefreshPeriod
+		g.runWithDebt(func() { g.ccRefresh(t, m) })
+	}
+	// Pay down accumulated probe debt with whole training slots.
+	if g.trainDebt >= 1 {
+		g.trainDebt--
+		g.TrainingSlots++
+		return sim.Slot{SNRdB: g.snr(m), Training: true}
+	}
+	if g.trainRemaining > 0 {
+		// An inline step scheduled a multi-slot operation (e.g. retrain).
+		return g.Step(t, m)
+	}
+	// Data slot.
+	snr := g.snr(m)
+	if snr < link.OutageThresholdDB {
+		g.badSlots++
+		switch {
+		case !g.emergencyTried && g.badSlots >= emergencyConfirmSlots:
+			// A persistent dip (blockage onset) is first answered with an
+			// immediate maintenance round — detect the blocked beam and
+			// reallocate its power (§4.1) — instead of a full retrain.
+			g.emergencyTried = true
+			g.nextMaintain = t + g.cfg.MaintainPeriod
+			g.runWithDebt(func() { g.maintain(t, m) })
+			snr = g.snr(m) // reallocation may already have recovered it
+		case g.emergencyTried && g.badSlots >= retrainConfirmSlots:
+			// Maintenance could not recover the link and the outage has
+			// outlasted any plausible fading dip: full retrain.
+			g.emergencyTried = false
+			g.badSlots = 0
+			g.retrainCause(t, "data-outage")
+		}
+	} else {
+		g.emergencyTried = false
+		g.badSlots = 0
+	}
+	return sim.Slot{
+		SNRdB:         snr,
+		ThroughputBps: link.Throughput(snr, g.budget.BandwidthHz, 0),
+	}
+}
+
+// bindUE wires the manager's UE-side combining beam into the channel
+// snapshot. On first sight of a directional UE it builds the UE codebook.
+func (g *Manager) bindUE(m *channel.Model) {
+	if m.Rx == nil {
+		return
+	}
+	if g.ueCB == nil {
+		g.ueArr = m.Rx
+		scan := dsp.Rad(g.cfg.ScanRangeDeg)
+		g.ueCB = antenna.DFTCodebook(m.Rx, 2*m.Rx.N+1, -scan, scan)
+	}
+	m.RxWeights = g.ueW // nil = quasi-omni until the UE beam is trained
+}
+
+// snr returns the wideband effective SNR of the current beam over the true
+// channel (−Inf before establishment).
+func (g *Manager) snr(m *channel.Model) float64 {
+	w := g.fe.Active()
+	if w == nil {
+		return math.Inf(-1)
+	}
+	return g.budget.WidebandSNRdB(m.EffectiveWideband(w, g.offsets))
+}
+
+// runWithDebt executes an inline maintenance step and charges its CSI-RS
+// probes to the fractional training-slot debt: each probe occupies one OFDM
+// symbol (1/SymbolsPerSlot of a slot), as in §5.2's overhead accounting.
+func (g *Manager) runWithDebt(op func()) {
+	before := g.sounder.Probes
+	op()
+	g.trainDebt += float64(g.sounder.Probes-before) / float64(g.num.SymbolsPerSlot)
+}
+
+// beginOp schedules a training operation of the given slot count whose
+// effect lands when the last slot completes.
+func (g *Manager) beginOp(slots int, done func(t float64, m *channel.Model)) {
+	if slots < 1 {
+		slots = 1
+	}
+	g.trainRemaining = slots
+	g.onTrainDone = done
+}
+
+// slotsFor converts air time to whole slots (≥1).
+func (g *Manager) slotsFor(airTime float64) int {
+	return int(math.Max(1, math.Ceil(airTime/g.num.SlotDuration())))
+}
+
+// beginRetrain schedules a full SSB sweep plus multi-beam establishment,
+// starting at the next SSB occasion.
+func (g *Manager) beginRetrain(t float64) {
+	g.retrainCause(t, "initial")
+}
+
+// retrainCause is beginRetrain with a recorded cause.
+func (g *Manager) retrainCause(t float64, cause string) {
+	if g.RetrainReasons == nil {
+		g.RetrainReasons = map[string]int{}
+	}
+	g.RetrainReasons[cause]++
+	g.Retrains++
+	wait := 0
+	if g.cfg.SSBPeriod > 0 {
+		next := math.Ceil(t/g.cfg.SSBPeriod) * g.cfg.SSBPeriod
+		wait = int((next - t) / g.num.SlotDuration())
+	}
+	sweepProbes := g.cb.Len()
+	if g.cfg.HierarchicalTraining {
+		sweepProbes = nr.HierProbeCount(g.hierConfig())
+	}
+	sweepSlots := g.slotsFor(float64(sweepProbes) * g.num.SSBDuration())
+	// Per-beam probes + combining probes + beam-set selection probes.
+	estProbes := g.cfg.MaxBeams + 2*(g.cfg.MaxBeams-1) + (g.cfg.MaxBeams - 1)
+	if g.ueCB != nil {
+		estProbes += g.cfg.MaxBeams * g.ueCB.Len() // per-beam UE scans (§4.4)
+	}
+	g.beginOp(wait+sweepSlots+estProbes*nr.CSIRSSlots, g.establish)
+}
+
+// establish performs the sweep and builds the constructive multi-beam.
+func (g *Manager) establish(t float64, m *channel.Model) {
+	angles := g.trainAngles(m)
+	if len(angles) == 0 {
+		// Nothing viable: back off and retry.
+		g.w = nil
+		g.fullReset()
+		g.beginOp(g.slotsFor(g.cfg.RetrainBackoff), func(t2 float64, m2 *channel.Model) { g.retrainCause(t2, "sweep-empty") })
+		return
+	}
+	pr := &boundProber{s: g.sounder, m: m}
+
+	// Directional UE (§4.4): before measuring anything else, find the UE
+	// arrival angle of each gNB beam with a per-beam UE codebook scan and
+	// form a matching UE multi-beam — every subsequent probe and data slot
+	// runs under it, so the TX-side combining estimates absorb the UE-side
+	// per-path phases automatically.
+	if g.ueCB != nil {
+		ueAngles := make([]float64, len(angles))
+		ueAmps := make([]float64, len(angles))
+		for k, a := range angles {
+			wk := g.u.SingleBeam(a)
+			bestIdx, bestRSS := -1, 0.0
+			for i, v := range g.ueCB.Weights {
+				m.RxWeights = v
+				if r := nr.RSS(pr.Probe(wk)); bestIdx == -1 || r > bestRSS {
+					bestIdx, bestRSS = i, r
+				}
+			}
+			ueAngles[k] = g.ueCB.Angles[bestIdx]
+			ueAmps[k] = math.Sqrt(bestRSS)
+		}
+		// MRC-style lobe weighting: RX lobe amplitude proportional to the
+		// path's measured amplitude.
+		if ueAmps[0] > 0 {
+			for k := range ueAmps {
+				ueAmps[k] /= ueAmps[0]
+			}
+		} else {
+			for k := range ueAmps {
+				ueAmps[k] = 1
+			}
+		}
+		g.ueAngles, g.ueAmps = ueAngles, ueAmps
+		if !g.applyUEWeights(ueAngles) {
+			g.ueW = nil
+		}
+		m.RxWeights = g.ueW
+	}
+
+	// Per-beam single probes: magnitudes + delays.
+	mags := make([][]float64, len(angles))
+	delays := make([]float64, len(angles))
+	rss := make([]float64, len(angles))
+	for k, a := range angles {
+		csi := pr.Probe(g.u.SingleBeam(a))
+		mags[k] = csi.Abs()
+		rss[k] = nr.RSS(csi)
+		d, err := superres.EstimateDelay(g.sounder.CIR(csi), g.sounder.SampleSpacing())
+		if err != nil {
+			d = 0
+		}
+		delays[k] = d
+	}
+	span := float64(g.cfg.NumSC) * g.sounder.SampleSpacing()
+	rel := make([]float64, len(angles))
+	for k := range delays {
+		rel[k] = superres.RelativeDelay(delays[k], delays[0], span)
+	}
+	rel[0] = 0
+
+	// Constructive combining parameters.
+	var beams []multibeam.Beam
+	if len(angles) == 1 {
+		beams = []multibeam.Beam{multibeam.Reference(angles[0])}
+	} else if g.cfg.ConstructiveCombining {
+		est, err := estimateWithMags(pr, g.u, angles, mags, rel, g.budget.BandwidthHz)
+		if err != nil {
+			g.w = nil
+			g.fullReset()
+			g.beginOp(g.slotsFor(g.cfg.RetrainBackoff), func(t2 float64, m2 *channel.Model) { g.retrainCause(t2, "estimate") })
+			return
+		}
+		beams, _ = est.Beams(angles)
+	} else {
+		// Ablation: equal-amplitude, zero-phase lobes.
+		for _, a := range angles {
+			beams = append(beams, multibeam.Beam{Angle: a, Amp: 1})
+		}
+	}
+	// Beam-set selection: on a wideband channel a lobe with large excess
+	// delay can be counter-productive (in-band ripple, §3.4), so keep the
+	// beam prefix whose MEASURED wideband effective SNR is best. The
+	// multi-beam therefore never does worse than the single beam.
+	if len(beams) > 1 {
+		snrs := make([]float64, len(beams)+1)
+		bindK := func(k int) {
+			// Couple the UE lobe count to the TX beam count under test.
+			if g.ueCB != nil && g.applyUEWeightsN(k) {
+				m.RxWeights = g.ueW
+			}
+		}
+		if g.ueCB != nil {
+			// Under a directional UE the k=1 config must be re-measured
+			// with a single UE lobe.
+			bindK(1)
+			snrs[1] = g.budget.WidebandSNRdBFromMags(pr.Probe(g.u.SingleBeam(angles[0])).Abs())
+		} else {
+			snrs[1] = g.budget.WidebandSNRdBFromMags(mags[0])
+		}
+		maxSNR := snrs[1]
+		for k := 2; k <= len(beams); k++ {
+			snrs[k] = math.Inf(-1)
+			wk, err := multibeam.Weights(g.u, beams[:k])
+			if err != nil {
+				continue
+			}
+			bindK(k)
+			csi := pr.Probe(wk)
+			snrs[k] = g.budget.WidebandSNRdBFromMags(csi.Abs())
+			if snrs[k] > maxSNR {
+				maxSNR = snrs[k]
+			}
+		}
+		// Reliability-first: the largest beam set within tolerance of the
+		// best measured SNR — but never sacrifice below the outage
+		// threshold when a smaller set clears it.
+		floor := maxSNR - g.cfg.SelectionTolDB
+		if th := link.OutageThresholdDB + 0.5; floor < th && maxSNR >= th {
+			floor = th
+		}
+		bestK, found := 1, snrs[1] >= floor
+		for k := 2; k <= len(beams); k++ {
+			if snrs[k] >= floor {
+				bestK, found = k, true
+			}
+		}
+		if !found {
+			// Everything is marginal: take the strongest measured set.
+			for k := 1; k <= len(beams); k++ {
+				if snrs[k] > snrs[bestK] {
+					bestK = k
+				}
+			}
+		}
+		angles, rel, beams = angles[:bestK], rel[:bestK], beams[:bestK]
+		mags, rss = mags[:bestK], rss[:bestK]
+		if g.ueCB != nil {
+			if len(g.ueAngles) > bestK {
+				g.ueAngles = g.ueAngles[:bestK]
+				g.ueAmps = g.ueAmps[:bestK]
+			}
+			if g.applyUEWeights(g.ueAngles) {
+				m.RxWeights = g.ueW
+			}
+		}
+	}
+	g.angles = angles
+	g.relDelays = rel
+	g.beams = beams
+	g.mags = mags
+	g.rssAnchor = rss
+	g.active = make([]bool, len(beams))
+	for i := range g.active {
+		g.active[i] = true
+	}
+	if !g.applyWeights(t) {
+		g.w = nil
+		g.fullReset()
+		g.beginOp(g.slotsFor(g.cfg.RetrainBackoff), func(t2 float64, m2 *channel.Model) { g.retrainCause(t2, "compose") })
+		return
+	}
+	g.tracker = nil
+	g.needAnch = true
+	g.nextMaintain = t + g.cfg.MaintainPeriod
+}
+
+// hierConfig derives the hierarchical-search configuration from the
+// manager's scan setup.
+func (g *Manager) hierConfig() nr.HierConfig {
+	cfg := nr.DefaultHierConfig()
+	cfg.Keep = g.cfg.MaxBeams
+	cfg.ScanMin = -dsp.Rad(g.cfg.ScanRangeDeg)
+	cfg.ScanMax = dsp.Rad(g.cfg.ScanRangeDeg)
+	cfg.DynRangeDB = g.cfg.DynRangeDB
+	return cfg
+}
+
+// trainAngles runs the configured beam-training method and returns the
+// viable path angles, strongest first (capped at MaxBeams).
+func (g *Manager) trainAngles(m *channel.Model) []float64 {
+	if g.cfg.HierarchicalTraining {
+		hres, err := nr.HierSweep(g.sounder, m, g.u, g.hierConfig())
+		if err != nil || len(hres.Angles) == 0 {
+			return nil
+		}
+		angles := hres.Angles
+		if len(angles) > g.cfg.MaxBeams {
+			angles = angles[:g.cfg.MaxBeams]
+		}
+		return angles
+	}
+	res := nr.Sweep(g.sounder, m, g.cb, g.cfg.MaxBeams, g.cfg.MinSepIdx, g.cfg.DynRangeDB)
+	return res.Angles(g.cb)
+}
+
+func (g *Manager) fullReset() {
+	g.angles, g.relDelays, g.beams, g.active, g.mags, g.rssAnchor = nil, nil, nil, nil, nil, nil
+	g.tracker = nil
+}
+
+// applyWeights composes the active beams into weights and programs the
+// front end. Returns false if no active beam remains.
+func (g *Manager) applyWeights(t float64) bool {
+	var lobes []multibeam.Beam
+	for k, b := range g.beams {
+		if g.active[k] {
+			lobes = append(lobes, b)
+		}
+	}
+	if len(lobes) == 0 {
+		return false
+	}
+	w, err := multibeam.Weights(g.u, lobes)
+	if err != nil {
+		return false
+	}
+	g.w = w
+	if err := g.fe.SetWeights(w, t); err != nil {
+		return false
+	}
+	if g.ueArr != nil && len(g.ueAngles) > 0 {
+		g.applyUEWeights(g.ueAngles)
+	}
+	return true
+}
+
+// maintain is the periodic CSI-RS maintenance round.
+func (g *Manager) maintain(t float64, m *channel.Model) {
+	pr := &boundProber{s: g.sounder, m: m}
+	csi := pr.Probe(g.w)
+	cir := g.sounder.CIR(csi)
+	res, err := superres.Extract(cir, g.relDelays, g.sounder.DelayKernel, g.sounder.SampleSpacing(), g.cfg.Superres)
+	if err != nil {
+		g.retrainCause(t, "superres")
+		return
+	}
+	if g.tracker == nil || g.needAnch {
+		tr, err := track.New(g.u, g.cfg.Track, floorPowers(res.Power))
+		if err != nil {
+			g.retrainCause(t, "tracker")
+			return
+		}
+		g.tracker = tr
+		g.needAnch = false
+		return
+	}
+	sts, err := g.tracker.Observe(t, res.Power)
+	if err != nil {
+		g.retrainCause(t, "tracker")
+		return
+	}
+	// Recovery probe: a dropped lobe carries no TX power, so the CIR can
+	// never show it coming back. Probe one blocked beam's single-beam RSS
+	// per round; if it has recovered near its anchor, re-admit it.
+	for k := range g.beams {
+		if g.active[k] {
+			continue
+		}
+		rss := nr.RSS(pr.Probe(g.u.SingleBeam(g.angles[k])))
+		if rss >= g.rssAnchor[k]*dsp.FromDB(-3) {
+			g.active[k] = true
+			if g.applyWeights(t) {
+				g.needAnch = true
+			}
+			return
+		}
+		break // at most one recovery probe per round
+	}
+	// Blockage response: reallocate power away from newly-blocked beams
+	// (§4.1). Re-admission happens ONLY through the recovery probe above:
+	// a dropped lobe carries no power, so the tracker's view of it is
+	// meaningless once it has been re-anchored.
+	changed := false
+	for k, st := range sts {
+		if g.active[k] && st.Blocked {
+			g.active[k] = false
+			changed = true
+			g.BlockageDrops++
+		}
+	}
+	if changed {
+		if !g.applyWeights(t) {
+			// Every beam blocked: hold the last weights and retrain.
+			for i := range g.active {
+				g.active[i] = true
+			}
+			g.applyWeights(t)
+			g.retrainCause(t, "all-blocked")
+			return
+		}
+		g.needAnch = true
+		return
+	}
+	// Mobility response (§4.2).
+	if !g.cfg.ProactiveTracking {
+		return
+	}
+	// §4.4: a power drop COMMON to every active beam is UE-side
+	// misalignment (rotation of the directional UE shifts all arrival
+	// angles together); per-beam drops are gNB-side misalignment.
+	if g.ueW != nil {
+		minDrop, maxDrop := math.Inf(1), math.Inf(-1)
+		nAct := 0
+		for k, st := range sts {
+			if !g.active[k] {
+				continue
+			}
+			nAct++
+			minDrop = math.Min(minDrop, st.DropDB)
+			maxDrop = math.Max(maxDrop, st.DropDB)
+		}
+		if nAct > 0 && minDrop >= 1.0 && (nAct == 1 || maxDrop-minDrop <= 2.0) {
+			if dev := track.RotationFromDrop(g.ueArr, minDrop); dev >= dsp.Rad(g.cfg.MinRefineDeg) {
+				g.refineUE(t, m, dev)
+				return
+			}
+		}
+	}
+	var deviated []int
+	var devs []float64
+	for k, st := range sts {
+		if g.active[k] && st.Deviation >= dsp.Rad(g.cfg.MinRefineDeg) {
+			deviated = append(deviated, k)
+			devs = append(devs, st.Deviation)
+		}
+	}
+	if len(deviated) == 0 {
+		return
+	}
+	g.refine(t, m, deviated, devs)
+}
+
+// ccRefresh re-derives the constructive-combining phases from one CSI-RS
+// probe's CIR: every beam's complex amplitude shares the probe's CFO phase,
+// so their ratios give the current relative channel phases directly. Only
+// phases are updated (amplitude re-weighting waits for a full refinement so
+// the tracker's per-beam power anchors stay valid).
+func (g *Manager) ccRefresh(t float64, m *channel.Model) {
+	pr := &boundProber{s: g.sounder, m: m}
+	csi := pr.Probe(g.w)
+	res, err := superres.Extract(g.sounder.CIR(csi), g.relDelays, g.sounder.DelayKernel, g.sounder.SampleSpacing(), g.cfg.Superres)
+	if err != nil {
+		return // transient: the next maintenance round will deal with it
+	}
+	ref := -1
+	for k := range g.beams {
+		if g.active[k] {
+			ref = k
+			break
+		}
+	}
+	if ref < 0 || res.Amp[ref] == 0 {
+		return
+	}
+	degenerate := g.delayDegenerate()
+	if degenerate[ref] {
+		return
+	}
+	// Lobe coefficient c_k = A_k·e^{−jφ_k}; measured α_k ∝ g_k·c_k, so the
+	// channel ratio g_k/g_ref = (α_k/α_ref)·(c_ref/c_k).
+	cRef := cmplx.Rect(g.beams[ref].Amp, -g.beams[ref].Phase)
+	changed := false
+	for k := range g.beams {
+		if k == ref || !g.active[k] || res.Amp[k] == 0 || degenerate[k] {
+			continue
+		}
+		cK := cmplx.Rect(g.beams[k].Amp, -g.beams[k].Phase)
+		gRatio := (res.Amp[k] / res.Amp[ref]) * (cRef / cK)
+		newPhase := dsp.WrapPhase(cmplx.Phase(gRatio) + g.beams[ref].Phase)
+		if math.Abs(dsp.WrapPhase(newPhase-g.beams[k].Phase)) > 0.05 {
+			g.beams[k].Phase = newPhase
+			changed = true
+		}
+	}
+	if changed {
+		g.applyWeights(t)
+	}
+}
+
+// delayDegenerate marks beams whose relative delays are closer than a
+// large fraction of the sounder resolution to another active beam: the CIR
+// fit cannot split amplitude (hence phase) between such pairs, so their
+// per-beam complex amplitudes are not trustworthy for phase updates.
+func (g *Manager) delayDegenerate() []bool {
+	const minSepS = 1.0e-9
+	out := make([]bool, len(g.beams))
+	for a := range g.beams {
+		for b := a + 1; b < len(g.beams); b++ {
+			if g.active[a] && g.active[b] && math.Abs(g.relDelays[a]-g.relDelays[b]) < minSepS {
+				out[a], out[b] = true, true
+			}
+		}
+	}
+	return out
+}
+
+// ccUpdatable returns how many non-reference active beams a CC phase
+// refresh could actually update.
+func (g *Manager) ccUpdatable() int {
+	if len(g.beams) < 2 {
+		return 0
+	}
+	deg := g.delayDegenerate()
+	ref := -1
+	for k := range g.beams {
+		if g.active[k] {
+			ref = k
+			break
+		}
+	}
+	if ref < 0 || deg[ref] {
+		return 0
+	}
+	n := 0
+	for k := range g.beams {
+		if k != ref && g.active[k] && !deg[k] {
+			n++
+		}
+	}
+	return n
+}
+
+// refineUE re-aligns the UE combining beam after a detected common-mode
+// drop: one probe per rotation direction candidate (§4.4).
+func (g *Manager) refineUE(t float64, m *channel.Model, dev float64) {
+	g.Refinements++
+	pr := &boundProber{s: g.sounder, m: m}
+	shifted := func(d float64) []float64 {
+		out := make([]float64, len(g.ueAngles))
+		for i, a := range g.ueAngles {
+			out[i] = a + d
+		}
+		return out
+	}
+	cand1, cand2 := shifted(dev), shifted(-dev)
+	prev := g.ueW
+	var r1, r2 float64
+	if g.applyUEWeights(cand1) {
+		m.RxWeights = g.ueW
+		r1 = nr.RSS(pr.Probe(g.w))
+	}
+	if g.applyUEWeights(cand2) {
+		m.RxWeights = g.ueW
+		r2 = nr.RSS(pr.Probe(g.w))
+	}
+	switch {
+	case r1 == 0 && r2 == 0:
+		g.ueW = prev
+	case r1 >= r2:
+		g.ueAngles = cand1
+		g.applyUEWeights(cand1)
+	default:
+		g.ueAngles = cand2
+		g.applyUEWeights(cand2)
+	}
+	m.RxWeights = g.ueW
+	g.needAnch = true
+}
+
+// applyUEWeights composes the UE multi-beam with one lobe per (active) gNB
+// beam, amplitude-weighted by the measured path strengths (RX-side MRC).
+// Per-lobe phases are irrelevant here: the TX-side constructive combining
+// absorbs the UE lobe phases path by path.
+func (g *Manager) applyUEWeights(ueAngles []float64) bool {
+	if g.ueArr == nil || len(ueAngles) == 0 {
+		return false
+	}
+	var lobes []multibeam.Beam
+	for k, a := range ueAngles {
+		if k < len(g.active) && !g.active[k] {
+			continue
+		}
+		lobes = append(lobes, multibeam.Beam{Angle: a, Amp: g.ueAmp(k)})
+	}
+	if len(lobes) == 0 {
+		// Everything blocked: keep all lobes rather than go dark.
+		for k, a := range ueAngles {
+			lobes = append(lobes, multibeam.Beam{Angle: a, Amp: g.ueAmp(k)})
+		}
+	}
+	w, err := multibeam.Weights(g.ueArr, lobes)
+	if err != nil {
+		return false
+	}
+	g.ueW = w
+	return true
+}
+
+// applyUEWeightsN composes the UE multi-beam from the first n lobes only
+// (used while beam-set selection evaluates candidate beam counts).
+func (g *Manager) applyUEWeightsN(n int) bool {
+	if n > len(g.ueAngles) {
+		n = len(g.ueAngles)
+	}
+	if n <= 0 {
+		return false
+	}
+	lobes := make([]multibeam.Beam, n)
+	for k := 0; k < n; k++ {
+		lobes[k] = multibeam.Beam{Angle: g.ueAngles[k], Amp: g.ueAmp(k)}
+	}
+	w, err := multibeam.Weights(g.ueArr, lobes)
+	if err != nil {
+		return false
+	}
+	g.ueW = w
+	return true
+}
+
+// ueAmp returns the MRC amplitude of UE lobe k (1 when unknown).
+func (g *Manager) ueAmp(k int) float64 {
+	if k < len(g.ueAmps) && g.ueAmps[k] > 0 {
+		return g.ueAmps[k]
+	}
+	return 1
+}
+
+// refine re-aligns the deviated beams: one ambiguity probe each, then a
+// constructive-combining re-estimate with the cached per-beam magnitudes.
+func (g *Manager) refine(t float64, m *channel.Model, deviated []int, devs []float64) {
+	g.Refinements++
+	pr := &boundProber{s: g.sounder, m: m}
+	for i, k := range deviated {
+		c1, c2 := track.Candidates(g.angles[k], devs[i])
+		csi1 := pr.Probe(g.u.SingleBeam(c1))
+		rss1 := nr.RSS(csi1)
+		if rss1 > g.rssAnchor[k]*dsp.FromDB(-1) {
+			// Candidate 1 recovers (within 1 dB of the anchor): take it.
+			g.angles[k] = c1
+			g.mags[k] = csi1.Abs()
+			g.rssAnchor[k] = rss1
+		} else {
+			// Otherwise the motion went the other way.
+			csi2 := pr.Probe(g.u.SingleBeam(c2))
+			// Accept whichever candidate measures stronger; this costs one
+			// extra probe only when the first guess was wrong, matching the
+			// paper's "probe one, fall back to the other" procedure.
+			rss2 := nr.RSS(csi2)
+			if rss2 >= rss1 {
+				g.angles[k] = c2
+				g.mags[k] = csi2.Abs()
+				g.rssAnchor[k] = rss2
+			} else {
+				g.angles[k] = c1
+				g.mags[k] = csi1.Abs()
+				g.rssAnchor[k] = rss1
+			}
+		}
+		g.beams[k].Angle = g.angles[k]
+	}
+	// Re-estimate constructive combining with refreshed magnitudes.
+	if g.cfg.ConstructiveCombining && len(g.angles) > 1 {
+		if est, err := estimateWithMags(pr, g.u, g.angles, g.mags, g.relDelays, g.budget.BandwidthHz); err == nil {
+			if beams, err := est.Beams(g.angles); err == nil {
+				for k := range beams {
+					if g.active[k] {
+						g.beams[k] = beams[k]
+					} else {
+						beams[k] = g.beams[k]
+					}
+				}
+			}
+		}
+	}
+	if !g.applyWeights(t) {
+		g.retrainCause(t, "compose")
+		return
+	}
+	g.needAnch = true
+}
+
+// estimateWithMags runs the 2(K−1)-probe constructive-combining estimation
+// reusing cached per-beam magnitudes (the paper's accounting: p1, p2 known
+// from training).
+func estimateWithMags(pr probe.Prober, u *antenna.ULA, angles []float64, mags [][]float64, rel []float64, bw float64) (probe.Result, error) {
+	res := probe.Result{}
+	for k := range angles {
+		res.PerBeamPower = append(res.PerBeamPower, meanPower(mags[k]))
+	}
+	for k := 1; k < len(angles); k++ {
+		est, err := probe.EstimatePairWithDelay(pr, u, angles[0], angles[k], mags[0], mags[k], rel[k], bw)
+		if err != nil {
+			return probe.Result{}, err
+		}
+		res.Relative = append(res.Relative, est)
+		res.Probes += 2
+	}
+	return res, nil
+}
+
+func meanPower(mags []float64) float64 {
+	var s float64
+	for _, m := range mags {
+		s += m * m
+	}
+	if len(mags) == 0 {
+		return 0
+	}
+	return s / float64(len(mags))
+}
+
+// floorPowers clamps non-positive extracted powers to a tiny epsilon so the
+// tracker can anchor (a fully-blocked beam at establishment time).
+func floorPowers(p []float64) []float64 {
+	out := append([]float64(nil), p...)
+	for i, v := range out {
+		if v <= 0 {
+			out[i] = 1e-30
+		}
+	}
+	return out
+}
+
+// boundProber adapts the sounder + a channel snapshot to probe.Prober.
+type boundProber struct {
+	s *nr.Sounder
+	m *channel.Model
+}
+
+// Probe implements probe.Prober.
+func (p *boundProber) Probe(w cmx.Vector) cmx.Vector { return p.s.Probe(p.m, w) }

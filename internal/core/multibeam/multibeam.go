@@ -1,0 +1,187 @@
+// Package multibeam implements the paper's central idea: constructive
+// multi-beam synthesis. A multi-beam directs one lobe at each strong
+// channel path with per-lobe amplitude and phase chosen so that the copies
+// of the signal arriving over every path add coherently at the receiver
+// (Eq. 10 for two beams, Eq. 29 for the general case), conserving total
+// radiated power and strictly beating any single beam on SNR whenever a
+// second path carries energy.
+package multibeam
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"mmreliable/internal/antenna"
+	"mmreliable/internal/cmx"
+)
+
+// Beam is one lobe of a multi-beam: its steering angle and its complex
+// weight relative to the first (reference) lobe. The reference lobe has
+// Amp = 1, Phase = 0 by convention.
+type Beam struct {
+	Angle float64 // steering angle (radians)
+	Amp   float64 // relative amplitude δ ≥ 0
+	Phase float64 // relative channel phase σ (radians)
+}
+
+// Reference returns the reference lobe toward the given angle.
+func Reference(angle float64) Beam { return Beam{Angle: angle, Amp: 1, Phase: 0} }
+
+// Weights synthesizes the constructive multi-beam weight vector
+//
+//	w ∝ Σ_k δ_k e^{−jσ_k} w_{φ_k},  ‖w‖ = 1,
+//
+// where w_{φ} is the matched single beam toward φ. The e^{−jσ} conjugation
+// cancels the channel's per-path phase so the receiver-side copies align
+// (Eq. 10). Note δ_k and σ_k describe the *channel* of path k relative to
+// the reference path; Weights derives the transmit coefficients from them.
+func Weights(u *antenna.ULA, beams []Beam) (cmx.Vector, error) {
+	if len(beams) == 0 {
+		return nil, fmt.Errorf("multibeam: no beams")
+	}
+	sum := cmx.NewVector(u.N)
+	for _, b := range beams {
+		if b.Amp < 0 {
+			return nil, fmt.Errorf("multibeam: negative amplitude %g", b.Amp)
+		}
+		coeff := cmplx.Rect(b.Amp, -b.Phase)
+		sum.AddScaled(coeff, u.SingleBeam(b.Angle))
+	}
+	if sum.Norm() < 1e-15 {
+		return nil, fmt.Errorf("multibeam: beams cancel (zero total weight)")
+	}
+	return sum.Normalize(), nil
+}
+
+// FromChannelRatios builds the lobe list from measured relative channel
+// ratios: angles[k] is the steering direction of path k and ratios[k] =
+// δ_k·e^{jσ_k} = h_k/h_0 its measured channel relative to path 0 (which
+// must have ratios[0] == 1 or be omitted by passing ratios[0] = 1).
+func FromChannelRatios(angles []float64, ratios []complex128) ([]Beam, error) {
+	if len(angles) != len(ratios) {
+		return nil, fmt.Errorf("multibeam: %d angles vs %d ratios", len(angles), len(ratios))
+	}
+	beams := make([]Beam, len(angles))
+	for k := range angles {
+		beams[k] = Beam{
+			Angle: angles[k],
+			Amp:   cmplx.Abs(ratios[k]),
+			Phase: cmplx.Phase(ratios[k]),
+		}
+	}
+	return beams, nil
+}
+
+// Optimal returns the maximum-ratio-transmission weights w = h*/‖h‖
+// (Eq. 4) — the oracle beamformer that requires full per-antenna CSI,
+// unobtainable on a single-RF-chain array but useful as an upper bound.
+func Optimal(h cmx.Vector) (cmx.Vector, error) {
+	if h.Norm() < 1e-300 {
+		return nil, fmt.Errorf("multibeam: zero channel")
+	}
+	return h.Conj().Normalize(), nil
+}
+
+// SubArraySplit builds the Aykin et al. style multi-beam that splits the
+// physical array into contiguous sub-arrays, one per lobe, instead of
+// superposing full-aperture beams. It is the sub-optimal multi-beam
+// baseline the paper contrasts with (§3.3): each lobe is wider (half the
+// aperture per lobe for two beams) and per-lobe phase control is still
+// applied. Power is split across sub-arrays proportional to amp².
+func SubArraySplit(u *antenna.ULA, beams []Beam) (cmx.Vector, error) {
+	if len(beams) == 0 {
+		return nil, fmt.Errorf("multibeam: no beams")
+	}
+	if len(beams) > u.N {
+		return nil, fmt.Errorf("multibeam: more beams (%d) than elements (%d)", len(beams), u.N)
+	}
+	w := cmx.NewVector(u.N)
+	per := u.N / len(beams)
+	for k, b := range beams {
+		lo := k * per
+		hi := lo + per
+		if k == len(beams)-1 {
+			hi = u.N
+		}
+		coeff := cmplx.Rect(b.Amp, -b.Phase)
+		for n := lo; n < hi; n++ {
+			// Full-array steering phase, windowed to the sub-array.
+			ph := -2 * math.Pi * u.Spacing / u.Lambda * float64(n) * math.Sin(b.Angle)
+			w[n] = coeff * cmplx.Exp(complex(0, -ph))
+		}
+	}
+	if w.Norm() < 1e-15 {
+		return nil, fmt.Errorf("multibeam: sub-array beams cancel")
+	}
+	return w.Normalize(), nil
+}
+
+// TheoreticalGain returns the SNR gain (linear) of an ideal two-beam
+// constructive multi-beam over a single beam on the stronger path, for a
+// two-path channel with relative amplitude delta: 1 + δ² (Eq. 9). With
+// estimation errors dAmp (ratio) and dPhase (radians) on the second lobe
+// the combining degrades to
+//
+//	gain = (1 + 2·δ·a·cos(Δσ) + δ²·a²) / (1 + a²)
+//
+// where a = δ·dAmp is the applied (possibly wrong) second-lobe amplitude.
+// This closed form drives the Fig. 14 sensitivity surface.
+func TheoreticalGain(delta, appliedAmp, phaseErr float64) float64 {
+	num := 1 + 2*delta*appliedAmp*math.Cos(phaseErr) + delta*delta*appliedAmp*appliedAmp
+	den := 1 + appliedAmp*appliedAmp
+	return num / den
+}
+
+// PerBeamPowerFractions returns the fraction of radiated power each lobe of
+// the synthesized multi-beam carries, estimated by projecting the weight
+// vector on each lobe's matched beam. Fractions are normalized to sum to 1
+// when lobes are orthogonal (well separated); overlap makes them
+// approximate, mirroring the physical array.
+func PerBeamPowerFractions(u *antenna.ULA, w cmx.Vector, angles []float64) []float64 {
+	fr := make([]float64, len(angles))
+	var total float64
+	for k, a := range angles {
+		proj := u.SingleBeam(a).Hdot(w)
+		fr[k] = real(proj)*real(proj) + imag(proj)*imag(proj)
+		total += fr[k]
+	}
+	if total > 0 {
+		for k := range fr {
+			fr[k] /= total
+		}
+	}
+	return fr
+}
+
+// DropBeam returns a new lobe list with beam k removed and the remaining
+// amplitudes rescaled so the strongest remaining lobe is the reference
+// (Amp = 1, Phase = 0). This is the §4.1 blockage response: re-purpose the
+// power of a blocked lobe onto the survivors.
+func DropBeam(beams []Beam, k int) ([]Beam, error) {
+	if k < 0 || k >= len(beams) {
+		return nil, fmt.Errorf("multibeam: drop index %d out of range", k)
+	}
+	if len(beams) == 1 {
+		return nil, fmt.Errorf("multibeam: cannot drop the only beam")
+	}
+	out := make([]Beam, 0, len(beams)-1)
+	for i, b := range beams {
+		if i != k {
+			out = append(out, b)
+		}
+	}
+	// Re-reference to the strongest survivor.
+	ref := 0
+	for i := range out {
+		if out[i].Amp > out[ref].Amp {
+			ref = i
+		}
+	}
+	refAmp, refPhase := out[ref].Amp, out[ref].Phase
+	for i := range out {
+		out[i].Amp /= refAmp
+		out[i].Phase -= refPhase
+	}
+	return out, nil
+}

@@ -1,0 +1,317 @@
+package probe
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mmreliable/internal/antenna"
+	"mmreliable/internal/channel"
+	"mmreliable/internal/cmx"
+	"mmreliable/internal/core/multibeam"
+	"mmreliable/internal/dsp"
+	"mmreliable/internal/env"
+	"mmreliable/internal/nr"
+)
+
+// liveProber binds an nr.Sounder to a channel snapshot.
+type liveProber struct {
+	s *nr.Sounder
+	m *channel.Model
+}
+
+func (p *liveProber) Probe(w cmx.Vector) cmx.Vector { return p.s.Probe(p.m, w) }
+
+func newProber(t *testing.T, m *channel.Model, bw, noise float64, imp nr.Impairments, seed int64) *liveProber {
+	t.Helper()
+	s, err := nr.NewSounder(nr.Mu3(), bw, 64, noise, imp, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &liveProber{s: s, m: m}
+}
+
+// twoPath builds a 2-path channel with a small 1.5 ns excess delay — the
+// indoor regime of the paper's Fig. 15c, where the relative phase is stable
+// across a 100 MHz band and the plain Eq. 14 fusion is unbiased.
+func twoPath(relAttDB, phase float64) *channel.Model {
+	return channel.FromSpecs(env.Band28GHz(), antenna.NewULA(8, 28e9), 80, []channel.PathSpec{
+		{AoDDeg: 0},
+		{AoDDeg: 30, RelAttDB: relAttDB, PhaseRad: phase, DelayNs: 1.5},
+	})
+}
+
+func TestNarrowbandEstimateExact(t *testing.T) {
+	// Synthesize exact powers for h1 = 2, h2 = 0.8·e^{j1.1}.
+	h1 := complex(2, 0)
+	h2 := cmplx.Rect(0.8, 1.1)
+	p1 := real(h1 * cmplx.Conj(h1))
+	p2 := real(h2 * cmplx.Conj(h2))
+	p3 := cmplx.Abs(h1+h2) * cmplx.Abs(h1+h2)
+	p4 := cmplx.Abs(h1+cmplx.Rect(1, math.Pi/2)*h2) * cmplx.Abs(h1+cmplx.Rect(1, math.Pi/2)*h2)
+	est, err := NarrowbandEstimate(p1, p2, p3, p4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.Delta-0.4) > 1e-12 {
+		t.Fatalf("δ = %g want 0.4", est.Delta)
+	}
+	if math.Abs(est.Sigma-1.1) > 1e-12 {
+		t.Fatalf("σ = %g want 1.1", est.Sigma)
+	}
+	if _, err := NarrowbandEstimate(0, 1, 1, 1); err == nil {
+		t.Fatal("zero reference power should fail")
+	}
+}
+
+func TestEstimatePairNoiseless(t *testing.T) {
+	for _, tc := range []struct{ att, phase float64 }{
+		{3, -0.7}, {6, 2.5}, {0, 1.0}, {10, -2.9},
+	} {
+		m := twoPath(tc.att, tc.phase)
+		p := newProber(t, m, 100e6, 0, nr.Impairments{}, 1)
+		m1 := p.Probe(m.Tx.SingleBeam(0)).Abs()
+		m2 := p.Probe(m.Tx.SingleBeam(dsp.Rad(30))).Abs()
+		est, err := EstimatePair(p, m.Tx, 0, dsp.Rad(30), m1, m2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantDelta, wantSigma := m.RelativeGain(1, 0)
+		// Cross-lobe leakage and in-band phase rotation bound accuracy even
+		// without noise.
+		if math.Abs(est.Delta-wantDelta) > 0.08*wantDelta+0.02 {
+			t.Fatalf("att=%g: δ = %g want %g", tc.att, est.Delta, wantDelta)
+		}
+		if math.Abs(dsp.WrapPhase(est.Sigma-wantSigma)) > dsp.Rad(10) {
+			t.Fatalf("phase=%g: σ = %g want %g", tc.phase, est.Sigma, wantSigma)
+		}
+	}
+}
+
+func TestEstimatePairSurvivesCFOSFO(t *testing.T) {
+	// The whole point: estimates stay accurate when every probe has a
+	// random phase and a random SFO slope.
+	m := twoPath(5, 1.3)
+	p := newProber(t, m, 100e6, 1e-6, nr.DefaultImpairments(), 7)
+	m1 := p.Probe(m.Tx.SingleBeam(0)).Abs()
+	m2 := p.Probe(m.Tx.SingleBeam(dsp.Rad(30))).Abs()
+	est, err := EstimatePair(p, m.Tx, 0, dsp.Rad(30), m1, m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDelta, wantSigma := m.RelativeGain(1, 0)
+	if math.Abs(est.Delta-wantDelta) > 0.1*wantDelta+0.02 {
+		t.Fatalf("δ = %g want %g", est.Delta, wantDelta)
+	}
+	if math.Abs(dsp.WrapPhase(est.Sigma-wantSigma)) > dsp.Rad(12) {
+		t.Fatalf("σ = %g want %g", est.Sigma, wantSigma)
+	}
+}
+
+func TestDelayCompensationUnbiasesWideband(t *testing.T) {
+	// At 400 MHz with a 10 ns excess delay, the relative phase wraps ~25 rad
+	// across the band: plain Eq. 14 fusion integrates to ≈0 (δ collapses),
+	// while ToF-compensated fusion recovers the truth. This is the wideband
+	// failure mode §3.4 is about.
+	m := channel.FromSpecs(env.Band28GHz(), antenna.NewULA(8, 28e9), 80, []channel.PathSpec{
+		{AoDDeg: 0},
+		{AoDDeg: 30, RelAttDB: 5, PhaseRad: 1.0, DelayNs: 10},
+	})
+	wantDelta, wantSigma := m.RelativeGain(1, 0)
+
+	p := newProber(t, m, 400e6, 0, nr.Impairments{}, 3)
+	m1 := p.Probe(m.Tx.SingleBeam(0)).Abs()
+	m2 := p.Probe(m.Tx.SingleBeam(dsp.Rad(30))).Abs()
+
+	plain, err := EstimatePair(p, m.Tx, 0, dsp.Rad(30), m1, m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Delta > 0.2*wantDelta {
+		t.Fatalf("plain fusion should collapse at this delay spread: δ = %g", plain.Delta)
+	}
+	comp, err := EstimatePairWithDelay(p, m.Tx, 0, dsp.Rad(30), m1, m2, 10e-9, 400e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(comp.Delta-wantDelta) > 0.08*wantDelta+0.02 {
+		t.Fatalf("compensated δ = %g want %g", comp.Delta, wantDelta)
+	}
+	if math.Abs(dsp.WrapPhase(comp.Sigma-wantSigma)) > dsp.Rad(10) {
+		t.Fatalf("compensated σ = %g want %g", comp.Sigma, wantSigma)
+	}
+}
+
+func TestEstimateAccuracyUnderNoise(t *testing.T) {
+	// At realistic probe SNR the phase error stays well inside the ±75°
+	// tolerance window of Fig. 14.
+	m := twoPath(5, -2.0)
+	wantDelta, wantSigma := m.RelativeGain(1, 0)
+	var worstPhase float64
+	for seed := int64(0); seed < 20; seed++ {
+		p := newProber(t, m, 100e6, 3e-6, nr.DefaultImpairments(), seed)
+		m1 := p.Probe(m.Tx.SingleBeam(0)).Abs()
+		m2 := p.Probe(m.Tx.SingleBeam(dsp.Rad(30))).Abs()
+		est, err := EstimatePair(p, m.Tx, 0, dsp.Rad(30), m1, m2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		phaseErr := math.Abs(dsp.WrapPhase(est.Sigma - wantSigma))
+		if phaseErr > worstPhase {
+			worstPhase = phaseErr
+		}
+		if est.Delta < 0.3*wantDelta || est.Delta > 3*wantDelta {
+			t.Fatalf("seed %d: δ = %g want %g", seed, est.Delta, wantDelta)
+		}
+	}
+	if worstPhase > dsp.Rad(40) {
+		t.Fatalf("worst phase error %g°, want < 40°", dsp.Deg(worstPhase))
+	}
+}
+
+func TestEstimateMultiBeamProbeCountAndQuality(t *testing.T) {
+	m := channel.FromSpecs(env.Band28GHz(), antenna.NewULA(8, 28e9), 80, []channel.PathSpec{
+		{AoDDeg: 0},
+		{AoDDeg: 35, RelAttDB: 4, PhaseRad: 1.0, DelayNs: 3},
+		{AoDDeg: -30, RelAttDB: 7, PhaseRad: -0.5, DelayNs: 8},
+	})
+	p := newProber(t, m, 400e6, 1e-6, nr.DefaultImpairments(), 3)
+	angles := []float64{0, dsp.Rad(35), dsp.Rad(-30)}
+	relDelays := []float64{0, 3e-9, 8e-9}
+	res, err := EstimateMultiBeamWithDelays(p, m.Tx, angles, relDelays, 400e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// K + 2(K−1) probes = 3 + 4 = 7 for K = 3.
+	if res.Probes != 7 {
+		t.Fatalf("probes = %d want 7", res.Probes)
+	}
+	if len(res.Relative) != 2 || len(res.PerBeamPower) != 3 {
+		t.Fatalf("result shape %d/%d", len(res.Relative), len(res.PerBeamPower))
+	}
+	// Per-beam powers ordered LOS > path2 > path3 (4 dB and 7 dB weaker).
+	if !(res.PerBeamPower[0] > res.PerBeamPower[1] && res.PerBeamPower[1] > res.PerBeamPower[2]) {
+		t.Fatalf("per-beam powers %v not ordered", res.PerBeamPower)
+	}
+	// The synthesized multi-beam must clearly beat the single beam.
+	beams, err := res.Beams(angles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := multibeam.Weights(m.Tx, beams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pMB := cmplx.Abs(m.Effective(w, 0))
+	pSB := cmplx.Abs(m.Effective(m.Tx.SingleBeam(0), 0))
+	gainDB := 20 * math.Log10(pMB/pSB)
+	if gainDB < 1.2 {
+		t.Fatalf("estimated 3-beam gain %g dB, want > 1.2", gainDB)
+	}
+}
+
+func TestEstimateMultiBeamErrors(t *testing.T) {
+	m := twoPath(3, 0)
+	p := newProber(t, m, 100e6, 0, nr.Impairments{}, 1)
+	if _, err := EstimateMultiBeam(p, m.Tx, []float64{0}); err == nil {
+		t.Fatal("single angle should fail")
+	}
+	if _, err := EstimateMultiBeamWithDelays(p, m.Tx, []float64{0, 0.5}, []float64{0}, 400e6); err == nil {
+		t.Fatal("delay/angle mismatch should fail")
+	}
+}
+
+func TestBeamsShapeValidation(t *testing.T) {
+	r := Result{Relative: []Estimate{{Delta: 0.5}}}
+	if _, err := r.Beams([]float64{0}); err == nil {
+		t.Fatal("angle/estimate mismatch should fail")
+	}
+	beams, err := r.Beams([]float64{0, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if beams[0].Amp != 1 || beams[1].Amp != 0.5 {
+		t.Fatalf("beams %+v", beams)
+	}
+}
+
+func TestEstimatePairLengthValidation(t *testing.T) {
+	m := twoPath(3, 0)
+	p := newProber(t, m, 100e6, 0, nr.Impairments{}, 1)
+	if _, err := EstimatePair(p, m.Tx, 0, dsp.Rad(30), []float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch should fail")
+	}
+	if _, err := EstimatePair(p, m.Tx, 0, dsp.Rad(30), nil, nil); err == nil {
+		t.Fatal("empty magnitudes should fail")
+	}
+}
+
+func TestRatioRoundTrip(t *testing.T) {
+	e := Estimate{Delta: 0.7, Sigma: -1.3}
+	r := e.Ratio()
+	if math.Abs(cmplx.Abs(r)-0.7) > 1e-12 || math.Abs(cmplx.Phase(r)+1.3) > 1e-12 {
+		t.Fatalf("ratio %v", r)
+	}
+}
+
+func TestPhaseStabilityAcrossBand(t *testing.T) {
+	// Fig. 15c: per-subcarrier optimal phase varies < 1 rad across 100 MHz
+	// for a typical indoor delay spread (≈1.5 ns here).
+	m := twoPath(5, 1.0)
+	s, err := nr.NewSounder(nr.Mu3(), 100e6, 64, 0, nr.Impairments{}, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &liveProber{s: s, m: m}
+	m1 := p.Probe(m.Tx.SingleBeam(0)).Abs()
+	m2 := p.Probe(m.Tx.SingleBeam(dsp.Rad(30))).Abs()
+	w3, _ := combinedBeam(m.Tx, 0, dsp.Rad(30), 0)
+	w4, _ := combinedBeam(m.Tx, 0, dsp.Rad(30), math.Pi/2)
+	csi3 := p.Probe(w3)
+	csi4 := p.Probe(w4)
+	phases := PhaseStability(m.Tx, 0, dsp.Rad(30), m1, m2, csi3, csi4)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, ph := range phases {
+		lo = math.Min(lo, ph)
+		hi = math.Max(hi, ph)
+	}
+	if hi-lo > 1.0 {
+		t.Fatalf("phase spread %g rad over 100 MHz, want < 1", hi-lo)
+	}
+}
+
+// Property: NarrowbandEstimate inverts Eq. 11 exactly for any h1 > 0 and
+// any h2 (testing/quick over the complex plane).
+func TestNarrowbandEstimateRoundTripProperty(t *testing.T) {
+	f := func(h1raw, re, im float64) bool {
+		h1 := 0.1 + math.Abs(math.Mod(h1raw, 10))
+		h2 := complex(math.Mod(re, 10), math.Mod(im, 10))
+		if math.IsNaN(real(h2)) || math.IsNaN(imag(h2)) || math.IsNaN(h1) {
+			return true
+		}
+		p1 := h1 * h1
+		p2 := real(h2)*real(h2) + imag(h2)*imag(h2)
+		p3 := cmplx.Abs(complex(h1, 0)+h2) * cmplx.Abs(complex(h1, 0)+h2)
+		p4 := cmplx.Abs(complex(h1, 0)+h2*1i) * cmplx.Abs(complex(h1, 0)+h2*1i)
+		est, err := NarrowbandEstimate(p1, p2, p3, p4)
+		if err != nil {
+			return false
+		}
+		wantDelta := cmplx.Abs(h2) / h1
+		if math.Abs(est.Delta-wantDelta) > 1e-9*(1+wantDelta) {
+			return false
+		}
+		if cmplx.Abs(h2) > 1e-9 {
+			wantSigma := cmplx.Phase(h2)
+			if math.Abs(dsp.WrapPhase(est.Sigma-wantSigma)) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

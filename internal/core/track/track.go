@@ -1,0 +1,249 @@
+// Package track implements mmReliable's proactive beam maintenance logic
+// (§4.1–§4.2, §4.4): it watches the per-beam power time series produced by
+// super-resolution, classifies power loss as blockage (fast) or mobility
+// (gradual), and converts mobility losses into angular-deviation candidates
+// by inverting the array's beam pattern. The direction ambiguity (±Δ gives
+// the same power drop) is resolved by the manager with one trial probe.
+package track
+
+import (
+	"fmt"
+	"math"
+
+	"mmreliable/internal/antenna"
+	"mmreliable/internal/dsp"
+)
+
+// Config tunes the tracker.
+type Config struct {
+	// SmoothAlpha is the EWMA forgetting factor applied to per-beam power
+	// in dB (the paper's "time average with a forgetting factor").
+	SmoothAlpha float64
+	// BlockSlopeDBPerSec marks a blockage when power falls faster than
+	// this. The measured human-blocker onset is ~10 dB per 10 OFDM symbols
+	// ≈ 112,000 dB/s; anything within two orders of magnitude of that is
+	// unambiguous against mobility (tens of dB/s).
+	BlockSlopeDBPerSec float64
+	// BlockDropDB marks a blockage when a single inter-observation drop
+	// exceeds this many dB (backstop for sparse observations).
+	BlockDropDB float64
+	// UnblockRiseDB clears the blocked flag when power recovers to within
+	// this many dB of the anchor.
+	UnblockRiseDB float64
+	// DeviationDeadbandDB suppresses refinement for drops smaller than
+	// this (measurement noise).
+	DeviationDeadbandDB float64
+	// HistoryLen is the number of recent observations kept for slope
+	// estimation.
+	HistoryLen int
+}
+
+// DefaultConfig returns thresholds matched to the paper's measurements.
+func DefaultConfig() Config {
+	return Config{
+		SmoothAlpha:        0.4,
+		BlockSlopeDBPerSec: 2000,
+		// 8 dB between consecutive observations: a human blocker produces
+		// ≥20 dB at the 20 ms maintenance cadence, while 4σ fading jumps
+		// stay below this.
+		BlockDropDB:         8,
+		UnblockRiseDB:       3,
+		DeviationDeadbandDB: 0.5,
+		HistoryLen:          8,
+	}
+}
+
+// Status is the tracker's verdict for one beam after an observation.
+type Status struct {
+	// Blocked reports that the beam's path is occluded; its power should be
+	// re-purposed to other beams rather than chased with re-alignment.
+	Blocked bool
+	// DropDB is the smoothed power loss relative to the anchor (positive =
+	// loss).
+	DropDB float64
+	// Deviation is the estimated angular misalignment magnitude (radians)
+	// explaining DropDB via the beam pattern; 0 when inside the deadband or
+	// blocked. The sign is ambiguous: the true offset is ±Deviation.
+	Deviation float64
+}
+
+type beamState struct {
+	anchorDB float64
+	ewma     *dsp.EWMA
+	times    []float64
+	powers   []float64 // smoothed dB history
+	blocked  bool
+}
+
+// Tracker watches K beams.
+type Tracker struct {
+	u   *antenna.ULA
+	cfg Config
+	bs  []beamState
+}
+
+// New builds a tracker for the array u with initial per-beam powers
+// (linear). Anchors are set to the initial powers.
+func New(u *antenna.ULA, cfg Config, initPowers []float64) (*Tracker, error) {
+	if len(initPowers) == 0 {
+		return nil, fmt.Errorf("track: no beams")
+	}
+	if cfg.SmoothAlpha <= 0 || cfg.SmoothAlpha > 1 {
+		return nil, fmt.Errorf("track: bad smoothing alpha %g", cfg.SmoothAlpha)
+	}
+	if cfg.HistoryLen < 2 {
+		return nil, fmt.Errorf("track: history length %d < 2", cfg.HistoryLen)
+	}
+	tr := &Tracker{u: u, cfg: cfg, bs: make([]beamState, len(initPowers))}
+	for k, p := range initPowers {
+		if p <= 0 {
+			return nil, fmt.Errorf("track: non-positive initial power on beam %d", k)
+		}
+		db := dsp.DB(p)
+		tr.bs[k] = beamState{anchorDB: db, ewma: dsp.NewEWMA(cfg.SmoothAlpha)}
+		tr.bs[k].ewma.Update(db)
+	}
+	return tr, nil
+}
+
+// NumBeams returns the number of tracked beams.
+func (tr *Tracker) NumBeams() int { return len(tr.bs) }
+
+// Observe folds one per-beam power measurement (linear, from
+// super-resolution) taken at time t into the tracker and returns the
+// per-beam statuses.
+func (tr *Tracker) Observe(t float64, powers []float64) ([]Status, error) {
+	if len(powers) != len(tr.bs) {
+		return nil, fmt.Errorf("track: %d powers for %d beams", len(powers), len(tr.bs))
+	}
+	out := make([]Status, len(powers))
+	for k := range powers {
+		out[k] = tr.observeBeam(k, t, powers[k])
+	}
+	return out, nil
+}
+
+func (tr *Tracker) observeBeam(k int, t, power float64) Status {
+	b := &tr.bs[k]
+	db := -200.0 // floor for dead beams
+	if power > 0 {
+		db = dsp.DB(power)
+	}
+	rawPrev := b.ewma.Value()
+	smooth := b.ewma.Update(db)
+	b.times = append(b.times, t)
+	b.powers = append(b.powers, smooth)
+	if len(b.times) > tr.cfg.HistoryLen {
+		b.times = b.times[1:]
+		b.powers = b.powers[1:]
+	}
+	drop := b.anchorDB - smooth
+
+	// Blockage: a steep fall in the RAW (pre-smoothing) series — either an
+	// instantaneous drop or a steep fitted slope over the recent window.
+	instantDrop := rawPrev - db
+	slope := tr.slopeDBPerSec(b)
+	if !b.blocked {
+		if instantDrop >= tr.cfg.BlockDropDB || -slope >= tr.cfg.BlockSlopeDBPerSec {
+			b.blocked = true
+		}
+	} else if drop <= tr.cfg.UnblockRiseDB {
+		b.blocked = false
+	}
+
+	st := Status{Blocked: b.blocked, DropDB: drop}
+	if !b.blocked && drop > tr.cfg.DeviationDeadbandDB {
+		// drop is a power ratio in dB; the array-factor inverse wants the
+		// amplitude ratio 10^(−drop/20).
+		st.Deviation = tr.u.InvertArrayFactor(dsp.AmpFromDB(-drop))
+	}
+	return st
+}
+
+// slopeDBPerSec fits a line to the recent smoothed history.
+func (tr *Tracker) slopeDBPerSec(b *beamState) float64 {
+	n := len(b.times)
+	if n < 2 {
+		return 0
+	}
+	dt := (b.times[n-1] - b.times[0]) / float64(n-1)
+	if dt <= 0 {
+		return 0
+	}
+	return dsp.SlopePerSample(b.powers) / dt
+}
+
+// Anchor re-references beam k to the given power (linear), typically after
+// a successful re-alignment, so future drops are measured from the new
+// optimum.
+func (tr *Tracker) Anchor(k int, power float64) error {
+	if k < 0 || k >= len(tr.bs) {
+		return fmt.Errorf("track: beam %d out of range", k)
+	}
+	if power <= 0 {
+		return fmt.Errorf("track: non-positive anchor power")
+	}
+	b := &tr.bs[k]
+	b.anchorDB = dsp.DB(power)
+	b.ewma.Reset()
+	b.ewma.Update(b.anchorDB)
+	b.times = b.times[:0]
+	b.powers = b.powers[:0]
+	b.blocked = false
+	return nil
+}
+
+// Blocked reports whether beam k is currently marked blocked.
+func (tr *Tracker) Blocked(k int) bool { return tr.bs[k].blocked }
+
+// SmoothedDB returns beam k's current smoothed power in dB.
+func (tr *Tracker) SmoothedDB(k int) float64 { return tr.bs[k].ewma.Value() }
+
+// Candidates returns the two candidate re-alignment angles for a beam
+// currently steered at angle with estimated deviation dev: the manager
+// probes one; if SNR does not improve, the other is correct (§4.2).
+func Candidates(angle, dev float64) (first, second float64) {
+	return angle + dev, angle - dev
+}
+
+// RotationFromDrop estimates the common rotation angle of a directional UE
+// from the drop (dB) in received power when only the UE end rotates
+// (§4.4): it inverts the UE's own array factor.
+func RotationFromDrop(ue *antenna.ULA, dropDB float64) float64 {
+	if dropDB <= 0 {
+		return 0
+	}
+	return ue.InvertArrayFactor(dsp.AmpFromDB(-dropDB))
+}
+
+// TranslationFromDrop estimates the common misalignment angle when a UE
+// translation misaligns both the gNB and UE beams by the same angle (§4.4):
+// the drop is the product of both array factors, inverted numerically.
+func TranslationFromDrop(gnb, ue *antenna.ULA, dropDB float64) float64 {
+	if dropDB <= 0 {
+		return 0
+	}
+	target := dsp.AmpFromDB(-dropDB) // combined amplitude ratio
+	// Bisect on the monotone main-lobe product AF_gnb(Δ)·AF_ue(Δ).
+	lo, hi := 0.0, smallestFirstNull(gnb, ue)
+	for iter := 0; iter < 60; iter++ {
+		mid := (lo + hi) / 2
+		if gnb.ArrayFactor(0, mid)*ue.ArrayFactor(0, mid) > target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+func smallestFirstNull(a, b *antenna.ULA) float64 {
+	null := func(u *antenna.ULA) float64 {
+		s := u.Lambda / (float64(u.N) * u.Spacing)
+		if s > 1 {
+			s = 1
+		}
+		return math.Asin(s)
+	}
+	return math.Min(null(a), null(b))
+}

@@ -1,0 +1,108 @@
+// Package dsp provides the signal-processing primitives the mmReliable
+// stack needs: an in-place radix-2 FFT, sinc interpolation kernels,
+// least-squares polynomial fitting, smoothing filters, and dB/linear
+// conversions. Go has no DSP standard library, so everything here is
+// implemented from scratch on math/cmplx.
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// IsPow2 reports whether n is a positive power of two.
+func IsPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// NextPow2 returns the smallest power of two ≥ n (and 1 for n ≤ 1).
+func NextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
+}
+
+// FFT computes the forward discrete Fourier transform of x in place.
+// len(x) must be a power of two. The convention is
+//
+//	X[k] = Σ_n x[n]·e^{−j2πkn/N}
+//
+// with no scaling on the forward transform.
+func FFT(x []complex128) error {
+	return fftDir(x, false)
+}
+
+// IFFT computes the inverse DFT of x in place, scaling by 1/N so that
+// IFFT(FFT(x)) == x.
+func IFFT(x []complex128) error {
+	if err := fftDir(x, true); err != nil {
+		return err
+	}
+	scale := complex(1/float64(len(x)), 0)
+	for i := range x {
+		x[i] *= scale
+	}
+	return nil
+}
+
+func fftDir(x []complex128, inverse bool) error {
+	n := len(x)
+	if !IsPow2(n) {
+		return fmt.Errorf("dsp: FFT length %d is not a power of two", n)
+	}
+	if n == 1 {
+		return nil
+	}
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.Len(uint(n-1)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	// Iterative Cooley-Tukey butterflies.
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := sign * 2 * math.Pi / float64(size)
+		wBase := cmplx.Exp(complex(0, step))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				w *= wBase
+			}
+		}
+	}
+	return nil
+}
+
+// FFTShift rotates the zero-frequency bin to the center of the spectrum,
+// returning a new slice. For even N the Nyquist bin lands at index 0 of the
+// output's left half, matching the usual numpy convention.
+func FFTShift(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	half := (n + 1) / 2
+	copy(out, x[half:])
+	copy(out[n-half:], x[:half])
+	return out
+}
+
+// IFFTShift undoes FFTShift.
+func IFFTShift(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	half := n / 2
+	copy(out, x[half:])
+	copy(out[n-half:], x[:half])
+	return out
+}

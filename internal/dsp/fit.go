@@ -1,0 +1,166 @@
+package dsp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrFit reports an ill-posed fitting problem.
+var ErrFit = errors.New("dsp: ill-posed fit")
+
+// PolyFit fits a polynomial of the given degree to the points (x[i], y[i])
+// in the least-squares sense and returns the coefficients lowest order
+// first: p(x) = c[0] + c[1]x + … + c[degree]x^degree.
+//
+// The tracker uses quadratic fits (degree 2) to smooth noisy per-beam power
+// measurements before inverting the beam pattern (§6.1 of the paper).
+func PolyFit(x, y []float64, degree int) ([]float64, error) {
+	if len(x) != len(y) {
+		return nil, fmt.Errorf("dsp: PolyFit length mismatch %d vs %d", len(x), len(y))
+	}
+	if degree < 0 {
+		return nil, fmt.Errorf("dsp: negative degree %d", degree)
+	}
+	n := degree + 1
+	if len(x) < n {
+		return nil, fmt.Errorf("%w: %d points for degree %d", ErrFit, len(x), degree)
+	}
+	// Normal equations on the Vandermonde system: (VᵀV)c = Vᵀy.
+	vtv := make([][]float64, n)
+	for i := range vtv {
+		vtv[i] = make([]float64, n)
+	}
+	vty := make([]float64, n)
+	for k := range x {
+		pow := make([]float64, n)
+		p := 1.0
+		for i := 0; i < n; i++ {
+			pow[i] = p
+			p *= x[k]
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				vtv[i][j] += pow[i] * pow[j]
+			}
+			vty[i] += pow[i] * y[k]
+		}
+	}
+	c, err := solveReal(vtv, vty)
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// PolyEval evaluates the polynomial with coefficients c (lowest order first)
+// at x.
+func PolyEval(c []float64, x float64) float64 {
+	var y float64
+	for i := len(c) - 1; i >= 0; i-- {
+		y = y*x + c[i]
+	}
+	return y
+}
+
+// solveReal solves the small dense real system A·x = b with partial
+// pivoting. A and b are modified.
+func solveReal(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	for col := 0; col < n; col++ {
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(a[pivot][col]) < 1e-300 {
+			return nil, ErrFit
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		b[col], b[pivot] = b[pivot], b[col]
+		inv := 1 / a[col][col]
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := b[i]
+		for j := i + 1; j < n; j++ {
+			s -= a[i][j] * x[j]
+		}
+		x[i] = s / a[i][i]
+	}
+	return x, nil
+}
+
+// EWMA is an exponentially weighted moving average with a forgetting
+// factor, used to smooth per-beam power time series. The zero value is
+// ready to use after SetAlpha (or use NewEWMA).
+type EWMA struct {
+	alpha   float64
+	value   float64
+	started bool
+}
+
+// NewEWMA returns an EWMA with smoothing factor alpha in (0, 1]: the weight
+// given to each new observation. alpha = 1 means no smoothing.
+func NewEWMA(alpha float64) *EWMA {
+	if alpha <= 0 || alpha > 1 {
+		panic(fmt.Sprintf("dsp: EWMA alpha %g out of (0, 1]", alpha))
+	}
+	return &EWMA{alpha: alpha}
+}
+
+// Update folds a new observation into the average and returns the new value.
+func (e *EWMA) Update(x float64) float64 {
+	if !e.started {
+		e.value = x
+		e.started = true
+		return x
+	}
+	e.value = e.alpha*x + (1-e.alpha)*e.value
+	return e.value
+}
+
+// Value returns the current average (0 before any update).
+func (e *EWMA) Value() float64 { return e.value }
+
+// Started reports whether any observation has been folded in.
+func (e *EWMA) Started() bool { return e.started }
+
+// Reset clears the average.
+func (e *EWMA) Reset() { e.value, e.started = 0, false }
+
+// SlopePerSample returns the least-squares slope of y against its sample
+// index, in y-units per sample. The blockage detector uses this on recent
+// per-beam power (dB) history: a steep negative slope marks a blockage
+// onset, a gentle one marks mobility (§4.1).
+func SlopePerSample(y []float64) float64 {
+	n := len(y)
+	if n < 2 {
+		return 0
+	}
+	// Closed form for x = 0..n-1.
+	var sy, sxy float64
+	for i, v := range y {
+		sy += v
+		sxy += float64(i) * v
+	}
+	fn := float64(n)
+	sx := fn * (fn - 1) / 2
+	sxx := (fn - 1) * fn * (2*fn - 1) / 6
+	den := fn*sxx - sx*sx
+	if den == 0 {
+		return 0
+	}
+	return (fn*sxy - sx*sy) / den
+}

@@ -1,0 +1,53 @@
+package dsp
+
+import "math"
+
+// Sinc returns the normalized sinc function sin(πx)/(πx), with Sinc(0) = 1.
+// This is the interpolation kernel of a band-limited channel sounder: a path
+// at delay τ observed through bandwidth B appears in the sampled CIR as
+// α·sinc(B(nTs − τ)) (Eq. 22 of the paper).
+func Sinc(x float64) float64 {
+	if x == 0 {
+		return 1
+	}
+	px := math.Pi * x
+	return math.Sin(px) / px
+}
+
+// SincVector samples α·sinc(B(nTs − τ)) for n = 0..n-1 with unit α, i.e. the
+// dictionary column for a path at delay tau seconds, observed with bandwidth
+// bw Hz at sample period ts seconds.
+func SincVector(n int, bw, ts, tau float64) []complex128 {
+	out := make([]complex128, n)
+	for i := range out {
+		out[i] = complex(Sinc(bw*(float64(i)*ts-tau)), 0)
+	}
+	return out
+}
+
+// RaisedCosine returns the raised-cosine kernel with roll-off beta at x
+// (in symbol periods). beta = 0 degenerates to Sinc.
+func RaisedCosine(x, beta float64) float64 {
+	if beta == 0 {
+		return Sinc(x)
+	}
+	den := 1 - math.Pow(2*beta*x, 2)
+	if math.Abs(den) < 1e-12 {
+		// L'Hôpital limit at x = ±1/(2β).
+		return (math.Pi / 4) * Sinc(1/(2*beta))
+	}
+	return Sinc(x) * math.Cos(math.Pi*beta*x) / den
+}
+
+// HannWindow returns an n-point Hann window.
+func HannWindow(n int) []float64 {
+	w := make([]float64, n)
+	if n == 1 {
+		w[0] = 1
+		return w
+	}
+	for i := range w {
+		w[i] = 0.5 * (1 - math.Cos(2*math.Pi*float64(i)/float64(n-1)))
+	}
+	return w
+}

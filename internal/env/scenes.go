@@ -1,0 +1,105 @@
+package env
+
+import (
+	"math"
+	"math/rand"
+)
+
+// ConferenceRoom builds the paper's indoor scenario: a 7 m × 10 m room with
+// reflective glass walls, a whiteboard (metal-backed) on one side, and
+// wooden furniture along another. The gNB sits near one short wall facing
+// into the room.
+func ConferenceRoom(band Band) *Environment {
+	const w, l = 7.0, 10.0
+	walls := []Wall{
+		{Seg: Segment{Vec2{0, 0}, Vec2{l, 0}}, Mat: Glass},   // south glass wall
+		{Seg: Segment{Vec2{l, 0}, Vec2{l, w}}, Mat: Drywall}, // east wall
+		{Seg: Segment{Vec2{l, w}, Vec2{0, w}}, Mat: Glass},   // north glass wall
+		{Seg: Segment{Vec2{0, w}, Vec2{0, 0}}, Mat: Drywall}, // west wall
+		// Metal-backed whiteboard mounted just in front of the north wall:
+		// a strong reflector that also shadows the glass behind it, so the
+		// two reflections never coincide in delay.
+		{Seg: Segment{Vec2{2.5, w - 0.1}, Vec2{5.5, w - 0.1}}, Mat: Metal},
+		{Seg: Segment{Vec2{7.5, 0.4}, Vec2{9.5, 0.4}}, Mat: Wood}, // furniture row
+	}
+	return NewEnvironment(band, walls...)
+}
+
+// OutdoorStreet builds the paper's outdoor scenario: an open link of up to
+// 80 m running alongside a large building with glass walls, plus a metal
+// fixture (parked vehicles / lamp posts) on the opposite side.
+func OutdoorStreet(band Band) *Environment {
+	walls := []Wall{
+		{Seg: Segment{Vec2{-5, 12}, Vec2{90, 12}}, Mat: Glass},      // building facade
+		{Seg: Segment{Vec2{20, -8}, Vec2{45, -8}}, Mat: Metal},      // metal fixture
+		{Seg: Segment{Vec2{60, -10}, Vec2{85, -10}}, Mat: Concrete}, // low concrete wall
+	}
+	return NewEnvironment(band, walls...)
+}
+
+// GNBPose returns the canonical gNB placement for the built-in scenes:
+// the conference room gNB sits at (0.5, 3.5) facing +x; the street gNB at
+// the origin facing +x.
+func GNBPose(indoor bool) Pose {
+	if indoor {
+		return Pose{Pos: Vec2{0.5, 3.5}, Facing: 0}
+	}
+	return Pose{Pos: Vec2{0, 0}, Facing: 0}
+}
+
+// RandomIndoor generates a randomized rectangular room (substituting for
+// the paper's many indoor measurement locations): room dimensions 5–12 m,
+// random wall materials, and one or two interior reflectors. The gNB is
+// placed near a wall; rng drives all choices.
+func RandomIndoor(rng *rand.Rand, band Band) (*Environment, Pose) {
+	l := 5 + 7*rng.Float64()
+	w := 4 + 5*rng.Float64()
+	// Office interiors are dominated by strong specular reflectors (glass
+	// walls, whiteboards, metal cabinets) — the paper's indoor median
+	// relative attenuation is only 7.2 dB.
+	mats := []Material{Glass, Glass, Metal, Concrete, Drywall}
+	pick := func() Material { return mats[rng.Intn(len(mats))] }
+	walls := []Wall{
+		{Seg: Segment{Vec2{0, 0}, Vec2{l, 0}}, Mat: pick()},
+		{Seg: Segment{Vec2{l, 0}, Vec2{l, w}}, Mat: pick()},
+		{Seg: Segment{Vec2{l, w}, Vec2{0, w}}, Mat: pick()},
+		{Seg: Segment{Vec2{0, w}, Vec2{0, 0}}, Mat: pick()},
+	}
+	for extra := 0; extra < rng.Intn(3); extra++ {
+		x := 1 + (l-2)*rng.Float64()
+		y := 0.3 + (w-0.6)*rng.Float64()
+		span := 1 + 2*rng.Float64()
+		walls = append(walls, Wall{
+			Seg: Segment{Vec2{x, y}, Vec2{math.Min(x+span, l-0.2), y}},
+			Mat: pick(),
+		})
+	}
+	gnb := Pose{Pos: Vec2{0.4, w / 2}, Facing: 0}
+	return NewEnvironment(band, walls...), gnb
+}
+
+// RandomOutdoor generates a randomized street-canyon scenario: link length
+// 10–80 m with one or two building facades at random offsets and materials.
+func RandomOutdoor(rng *rand.Rand, band Band) (*Environment, Pose) {
+	span := 100.0
+	mats := []Material{Glass, Concrete, Metal}
+	pick := func() Material { return mats[rng.Intn(len(mats))] }
+	off1 := 8 + 12*rng.Float64()
+	walls := []Wall{
+		{Seg: Segment{Vec2{-5, off1}, Vec2{span, off1}}, Mat: pick()},
+	}
+	if rng.Float64() < 0.7 {
+		off2 := -(6 + 10*rng.Float64())
+		a := 10 + 30*rng.Float64()
+		b := a + 20 + 30*rng.Float64()
+		walls = append(walls, Wall{Seg: Segment{Vec2{a, off2}, Vec2{b, off2}}, Mat: pick()})
+	}
+	gnb := Pose{Pos: Vec2{0, 0}, Facing: 0}
+	return NewEnvironment(band, walls...), gnb
+}
+
+// FacingFrom returns the facing angle for an array at pos pointing its
+// broadside at target.
+func FacingFrom(pos, target Vec2) float64 {
+	return target.Sub(pos).Angle()
+}

@@ -1,0 +1,279 @@
+package env
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Material describes how a wall interacts with an mmWave signal. Losses are
+// in dB of power. Typical mmWave values (paper §3.2 and the measurement
+// studies it cites): metal ≈ 1 dB reflection, concrete ≈ 5 dB, tinted glass
+// ≈ 6 dB, drywall ≈ 9 dB; transmission through structural walls is 20–40 dB
+// (often a complete blockage at the link budget of a directional link).
+type Material struct {
+	Name       string
+	ReflLossDB float64 // power loss on specular reflection
+	TransLossD float64 // power loss on transmission through the wall
+}
+
+// Standard materials.
+var (
+	Metal    = Material{Name: "metal", ReflLossDB: 1, TransLossD: 60}
+	Concrete = Material{Name: "concrete", ReflLossDB: 5, TransLossD: 40}
+	Glass    = Material{Name: "glass", ReflLossDB: 6, TransLossD: 8}
+	Drywall  = Material{Name: "drywall", ReflLossDB: 9, TransLossD: 12}
+	Wood     = Material{Name: "wood", ReflLossDB: 10, TransLossD: 15}
+)
+
+// Wall is a reflective segment in the environment.
+type Wall struct {
+	Seg Segment
+	Mat Material
+}
+
+// Pose is the position and broadside orientation of an array. Facing is the
+// direction (radians, world frame) the array broadside points toward.
+type Pose struct {
+	Pos    Vec2
+	Facing float64
+}
+
+// Path is one propagation path between transmitter and receiver.
+type Path struct {
+	AoD     float64 // angle of departure relative to TX broadside (radians)
+	AoA     float64 // angle of arrival relative to RX broadside (radians)
+	Dist    float64 // total traveled distance (m)
+	Delay   float64 // time of flight (s)
+	LossDB  float64 // total power loss (path loss + reflection + transmission)
+	PhasePi bool    // extra π phase flip from an odd number of reflections
+	Refl    int     // number of reflections (0 for LOS)
+	Via     int     // index of the first reflecting wall, −1 for LOS
+	Via2    int     // index of the second reflecting wall, −1 otherwise
+}
+
+// ID returns a stable identity key for the path derived from its reflecting
+// walls, usable for matching "the same physical path" across re-traces as
+// the terminals move.
+func (p Path) ID() int {
+	return (p.Via+1)*100000 + (p.Via2 + 1)
+}
+
+// Amplitude returns the linear field amplitude of the path (10^(−loss/20)).
+func (p Path) Amplitude() float64 { return math.Pow(10, -p.LossDB/20) }
+
+// Environment is a set of walls plus a band model.
+type Environment struct {
+	Walls []Wall
+	// IRSs are intelligent reflecting surfaces (engineered reflectors, §8).
+	IRSs []IRS
+	Band Band
+	// FrontHalfOnly drops paths that depart or arrive more than 90° off
+	// the respective array broadside (a phased-array panel radiates into a
+	// half space). Default true via NewEnvironment.
+	FrontHalfOnly bool
+	// MaxPaths limits the number of returned paths (strongest first);
+	// 0 means no limit.
+	MaxPaths int
+	// MaxOrder is the highest reflection order traced: 1 (default) for
+	// single bounces, 2 adds double bounces via the image-of-image method.
+	// Double bounces matter in highly reflective rooms where the paper's
+	// angular scans show more than three viable directions.
+	MaxOrder int
+}
+
+// NewEnvironment returns an environment on the given band with panel
+// (front-half-space) arrays.
+func NewEnvironment(band Band, walls ...Wall) *Environment {
+	return &Environment{Walls: walls, Band: band, FrontHalfOnly: true, MaxOrder: 1}
+}
+
+// Trace returns all zero- and first-order propagation paths from tx to rx,
+// sorted by increasing loss (strongest first). It never returns an empty,
+// non-nil slice: if every path is occluded beyond recovery the result is
+// empty.
+func (e *Environment) Trace(tx, rx Pose) []Path {
+	var paths []Path
+	// LOS path.
+	if p, ok := e.losPath(tx, rx); ok {
+		paths = append(paths, p)
+	}
+	// First-order reflections via the image method.
+	for wi := range e.Walls {
+		if p, ok := e.reflectedPath(tx, rx, wi); ok {
+			paths = append(paths, p)
+		}
+	}
+	// Engineered reflections via intelligent reflecting surfaces.
+	for i := range e.IRSs {
+		if p, ok := e.irsPath(tx, rx, i); ok {
+			paths = append(paths, p)
+		}
+	}
+	// Second-order reflections via the image-of-image method.
+	if e.MaxOrder >= 2 {
+		for wi := range e.Walls {
+			for wj := range e.Walls {
+				if wi == wj {
+					continue
+				}
+				if p, ok := e.doubleReflectedPath(tx, rx, wi, wj); ok {
+					paths = append(paths, p)
+				}
+			}
+		}
+	}
+	sort.Slice(paths, func(i, j int) bool { return paths[i].LossDB < paths[j].LossDB })
+	if e.MaxPaths > 0 && len(paths) > e.MaxPaths {
+		paths = paths[:e.MaxPaths]
+	}
+	return paths
+}
+
+func (e *Environment) losPath(tx, rx Pose) (Path, bool) {
+	d := tx.Pos.Dist(rx.Pos)
+	if d < 1e-9 {
+		return Path{}, false
+	}
+	leg := Segment{tx.Pos, rx.Pos}
+	trans, blockedEntirely := e.transmissionLoss(leg, -1, -1)
+	if blockedEntirely {
+		return Path{}, false
+	}
+	p := Path{
+		AoD:    relAngle(rx.Pos.Sub(tx.Pos), tx.Facing),
+		AoA:    relAngle(tx.Pos.Sub(rx.Pos), rx.Facing),
+		Dist:   d,
+		Delay:  d / SpeedOfLight,
+		LossDB: e.Band.PathLossDB(d) + trans,
+		Via:    -1,
+		Via2:   -1,
+	}
+	if e.FrontHalfOnly && (math.Abs(p.AoD) > math.Pi/2 || math.Abs(p.AoA) > math.Pi/2) {
+		return Path{}, false
+	}
+	return p, true
+}
+
+func (e *Environment) reflectedPath(tx, rx Pose, wi int) (Path, bool) {
+	w := e.Walls[wi]
+	img := w.Seg.mirror(tx.Pos)
+	// The reflected ray exists iff the image→RX segment crosses the wall.
+	hit, ok := Segment{img, rx.Pos}.Intersects(w.Seg)
+	if !ok {
+		return Path{}, false
+	}
+	d := img.Dist(rx.Pos) // total path length TX→hit→RX
+	if d < 1e-9 {
+		return Path{}, false
+	}
+	leg1 := Segment{tx.Pos, hit}
+	leg2 := Segment{hit, rx.Pos}
+	t1, b1 := e.transmissionLoss(leg1, wi, -1)
+	if b1 {
+		return Path{}, false
+	}
+	t2, b2 := e.transmissionLoss(leg2, wi, -1)
+	if b2 {
+		return Path{}, false
+	}
+	p := Path{
+		AoD:     relAngle(hit.Sub(tx.Pos), tx.Facing),
+		AoA:     relAngle(hit.Sub(rx.Pos), rx.Facing),
+		Dist:    d,
+		Delay:   d / SpeedOfLight,
+		LossDB:  e.Band.PathLossDB(d) + w.Mat.ReflLossDB + t1 + t2,
+		PhasePi: true,
+		Refl:    1,
+		Via:     wi,
+		Via2:    -1,
+	}
+	if e.FrontHalfOnly && (math.Abs(p.AoD) > math.Pi/2 || math.Abs(p.AoA) > math.Pi/2) {
+		return Path{}, false
+	}
+	return p, true
+}
+
+// doubleReflectedPath traces TX → wall wi → wall wj → RX via the
+// image-of-image method: TX's image across wi is mirrored across wj; the
+// ray img2→RX must cross wj (at q2), and the ray img1→q2 must cross wi (at
+// q1), with every leg checked for occlusion.
+func (e *Environment) doubleReflectedPath(tx, rx Pose, wi, wj int) (Path, bool) {
+	first, second := e.Walls[wi], e.Walls[wj]
+	img1 := first.Seg.mirror(tx.Pos)
+	img2 := second.Seg.mirror(img1)
+	q2, ok := Segment{img2, rx.Pos}.Intersects(second.Seg)
+	if !ok {
+		return Path{}, false
+	}
+	q1, ok := Segment{img1, q2}.Intersects(first.Seg)
+	if !ok {
+		return Path{}, false
+	}
+	d := img2.Dist(rx.Pos) // = |TX→q1| + |q1→q2| + |q2→RX|
+	if d < 1e-9 {
+		return Path{}, false
+	}
+	t1, b1 := e.transmissionLoss(Segment{tx.Pos, q1}, wi, -1)
+	if b1 {
+		return Path{}, false
+	}
+	t2, b2 := e.transmissionLoss(Segment{q1, q2}, wi, wj)
+	if b2 {
+		return Path{}, false
+	}
+	t3, b3 := e.transmissionLoss(Segment{q2, rx.Pos}, wj, -1)
+	if b3 {
+		return Path{}, false
+	}
+	p := Path{
+		AoD:    relAngle(q1.Sub(tx.Pos), tx.Facing),
+		AoA:    relAngle(q2.Sub(rx.Pos), rx.Facing),
+		Dist:   d,
+		Delay:  d / SpeedOfLight,
+		LossDB: e.Band.PathLossDB(d) + first.Mat.ReflLossDB + second.Mat.ReflLossDB + t1 + t2 + t3,
+		Refl:   2, // two flips cancel: PhasePi stays false
+		Via:    wi,
+		Via2:   wj,
+	}
+	if e.FrontHalfOnly && (math.Abs(p.AoD) > math.Pi/2 || math.Abs(p.AoA) > math.Pi/2) {
+		return Path{}, false
+	}
+	return p, true
+}
+
+// transmissionLoss accumulates through-wall loss along a leg, skipping up
+// to two wall indices (the reflecting wall for each endpoint). It reports
+// blocked=true when accumulated transmission loss exceeds 50 dB, at which
+// point the path is useless for a directional link.
+func (e *Environment) transmissionLoss(leg Segment, skip1, skip2 int) (lossDB float64, blocked bool) {
+	const hardBlockDB = 50
+	for i, w := range e.Walls {
+		if i == skip1 || i == skip2 {
+			continue
+		}
+		pt, ok := leg.Intersects(w.Seg)
+		if !ok {
+			continue
+		}
+		// Ignore grazing contact at the leg endpoints (shared corners).
+		if pt.Dist(leg.A) < 1e-9 || pt.Dist(leg.B) < 1e-9 {
+			continue
+		}
+		lossDB += w.Mat.TransLossD
+		if lossDB >= hardBlockDB {
+			return lossDB, true
+		}
+	}
+	return lossDB, false
+}
+
+// String implements fmt.Stringer for debugging.
+func (p Path) String() string {
+	kind := "LOS"
+	if p.Refl > 0 {
+		kind = fmt.Sprintf("refl(wall %d)", p.Via)
+	}
+	return fmt.Sprintf("%s AoD=%.1f° AoA=%.1f° d=%.2fm loss=%.1fdB",
+		kind, p.AoD*180/math.Pi, p.AoA*180/math.Pi, p.Dist, p.LossDB)
+}

@@ -1,0 +1,180 @@
+package events
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestEventTrapezoid(t *testing.T) {
+	e := Event{PathIndex: 0, Start: 1, Duration: 0.2, DepthDB: 20, RampTime: 0.1}
+	cases := []struct{ t, want float64 }{
+		{0.5, 0},   // before
+		{1.0, 0},   // exactly at start
+		{1.05, 10}, // mid-ramp
+		{1.1, 20},  // ramp complete
+		{1.2, 20},  // holding
+		{1.3, 20},  // end of hold
+		{1.35, 10}, // mid fall
+		{1.4, 0},   // cleared
+		{2.0, 0},   // long after
+	}
+	for _, c := range cases {
+		if got := e.LossAt(c.t); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("LossAt(%g) = %g want %g", c.t, got, c.want)
+		}
+	}
+	if e.End() != 1.4 {
+		t.Fatalf("End = %g", e.End())
+	}
+	if e.Active(0.9) || !e.Active(1.2) || e.Active(1.5) {
+		t.Fatal("Active wrong")
+	}
+}
+
+func TestRampSlopeMatchesMeasurement(t *testing.T) {
+	// Paper §4.1: blockage degrades per-beam amplitude 10 dB in 10 OFDM
+	// symbols (8.93 µs each at 120 kHz SCS).
+	depth := 25.0
+	ramp := RampFor(depth)
+	slope := depth / ramp // dB per second
+	tenSymbols := 10 * 8.93e-6
+	dbPer10Symbols := slope * tenSymbols
+	if math.Abs(dbPer10Symbols-10) > 1e-9 {
+		t.Fatalf("onset = %g dB per 10 symbols, want 10", dbPer10Symbols)
+	}
+	if RampFor(0) != 0 || RampFor(-5) != 0 {
+		t.Fatal("non-positive depth should give zero ramp")
+	}
+}
+
+func TestScheduleSumsOverlaps(t *testing.T) {
+	s := Schedule{
+		{PathIndex: 0, Start: 0, Duration: 1, DepthDB: 10, RampTime: 0.1},
+		{PathIndex: 0, Start: 0.5, Duration: 1, DepthDB: 5, RampTime: 0.1},
+		{PathIndex: 1, Start: 0, Duration: 1, DepthDB: 7, RampTime: 0.1},
+	}
+	if got := s.LossAt(0, 0.8); math.Abs(got-15) > 1e-9 {
+		t.Fatalf("overlapping loss = %g want 15", got)
+	}
+	if got := s.LossAt(1, 0.8); math.Abs(got-7) > 1e-9 {
+		t.Fatalf("path 1 loss = %g want 7", got)
+	}
+	if got := s.LossAt(2, 0.8); got != 0 {
+		t.Fatalf("untouched path loss = %g", got)
+	}
+}
+
+func TestAllPathsEvent(t *testing.T) {
+	s := Schedule{{AllPaths: true, Start: 0, Duration: 1, DepthDB: 30, RampTime: 0.01}}
+	for path := 0; path < 4; path++ {
+		if got := s.LossAt(path, 0.5); math.Abs(got-30) > 1e-9 {
+			t.Fatalf("path %d loss = %g", path, got)
+		}
+	}
+}
+
+func TestAnyActive(t *testing.T) {
+	s := Schedule{{PathIndex: 0, Start: 1, Duration: 0.1, DepthDB: 10, RampTime: 0.05}}
+	if s.AnyActive(0.5) {
+		t.Fatal("active before start")
+	}
+	if !s.AnyActive(1.1) {
+		t.Fatal("not active during event")
+	}
+	if s.AnyActive(5) {
+		t.Fatal("active after end")
+	}
+}
+
+func TestSorted(t *testing.T) {
+	s := Schedule{
+		{Start: 3}, {Start: 1}, {Start: 2},
+	}
+	sorted := s.Sorted()
+	if sorted[0].Start != 1 || sorted[1].Start != 2 || sorted[2].Start != 3 {
+		t.Fatalf("not sorted: %v", sorted)
+	}
+	// Original untouched.
+	if s[0].Start != 3 {
+		t.Fatal("Sorted mutated input")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := Schedule{{PathIndex: 0, Duration: 1, DepthDB: 10}}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []Schedule{
+		{{PathIndex: 0, Duration: -1}},
+		{{PathIndex: 0, DepthDB: -1}},
+		{{PathIndex: 0, RampTime: -1}},
+		{{PathIndex: -2}},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Fatalf("expected error for %+v", bad[0])
+		}
+	}
+	// AllPaths with negative index is fine (index ignored).
+	ok := Schedule{{PathIndex: -1, AllPaths: true}}
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateRespectsParams(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	p := DefaultGenParams(3)
+	totalEvents := 0
+	for trial := 0; trial < 300; trial++ {
+		s := Generate(rng, p)
+		if err := s.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		totalEvents += len(s)
+		for _, e := range s {
+			if e.Start < 0 || e.Start >= p.Horizon {
+				t.Fatalf("start %g outside horizon", e.Start)
+			}
+			if e.Duration < p.MinDuration-1e-12 || e.Duration > p.MaxDuration+1e-12 {
+				t.Fatalf("duration %g outside [%g, %g]", e.Duration, p.MinDuration, p.MaxDuration)
+			}
+			if e.DepthDB < p.MinDepthDB || e.DepthDB > p.MaxDepthDB {
+				t.Fatalf("depth %g outside range", e.DepthDB)
+			}
+			if e.PathIndex < 0 || e.PathIndex >= p.NumPaths {
+				t.Fatalf("path index %d", e.PathIndex)
+			}
+		}
+	}
+	// Poisson(1) over 1 s across 300 trials ⇒ ≈300 events; allow wide slack.
+	if totalEvents < 200 || totalEvents > 420 {
+		t.Fatalf("unexpected event volume %d", totalEvents)
+	}
+	if Generate(rng, GenParams{}) != nil {
+		t.Fatal("degenerate params should return nil")
+	}
+}
+
+func TestWalkingBlockerShape(t *testing.T) {
+	s := WalkingBlocker(0.2, 0.3, 0.15, 25)
+	if len(s) != 2 {
+		t.Fatalf("events %d", len(s))
+	}
+	// NLOS (path 1) blocked first, LOS (path 0) after the gap.
+	if s[0].PathIndex != 1 || s[1].PathIndex != 0 {
+		t.Fatalf("ordering: %+v", s)
+	}
+	if math.Abs(s[1].Start-s[0].Start-0.3) > 1e-12 {
+		t.Fatal("gap wrong")
+	}
+	// Never simultaneous full blockage in this scenario (gap > dwell+ramps).
+	for ts := 0.0; ts < 1.2; ts += 0.001 {
+		l0 := s.LossAt(0, ts)
+		l1 := s.LossAt(1, ts)
+		if l0 >= 25 && l1 >= 25 {
+			t.Fatalf("both paths fully blocked at t=%g", ts)
+		}
+	}
+}

@@ -1,0 +1,226 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"mmreliable/internal/antenna"
+	"mmreliable/internal/baselines"
+	"mmreliable/internal/channel"
+	"mmreliable/internal/core/manager"
+	"mmreliable/internal/core/multibeam"
+	"mmreliable/internal/env"
+	"mmreliable/internal/events"
+	"mmreliable/internal/link"
+	"mmreliable/internal/nr"
+	"mmreliable/internal/sim"
+	"mmreliable/internal/stats"
+)
+
+// Ablation experiments beyond the paper's figures, exercising the design
+// choices DESIGN.md calls out. IDs are prefixed "a".
+
+// AblationQuantization sweeps phase-shifter resolution: how much multi-beam
+// SNR does cheap hardware cost? (The paper argues 2-bit + on/off is the
+// floor for phase-coherent multi-beams.)
+func AblationQuantization(cfg Config) *stats.Table {
+	u := antenna.NewULA(8, 28e9)
+	budget := link.DefaultBudget()
+	offs := channel.SubcarrierOffsets(budget.BandwidthHz, 32)
+	rng := cfg.rng(901)
+	params := channel.ClusterParams{
+		MinPaths: 2, MaxPaths: 3,
+		LOSLossDB:    env.Band28GHz().PathLossDB(7),
+		RelAttMeanDB: 5, RelAttStdDB: 1.5,
+		MaxExcessDelayNs: 0.8, SectorDeg: 100, MinSepDeg: 18,
+	}
+	quants := []struct {
+		name string
+		q    antenna.Quantizer
+	}{
+		{"ideal", antenna.Quantizer{}},
+		{"6bit+0.5dB", antenna.DefaultQuantizer()},
+		{"4bit+1dB", antenna.Quantizer{PhaseBits: 4, GainRangeDB: 27, GainStepDB: 1}},
+		{"3bit+onoff", antenna.Quantizer{PhaseBits: 3, GainRangeDB: 27, GainStepDB: 0}},
+		{"2bit+onoff", antenna.CoarseQuantizer()},
+	}
+	t := stats.NewTable("Ablation A1 — multi-beam SNR loss vs weight quantization",
+		"quantizer", "mean_snr_dB", "loss_vs_ideal_dB")
+	runs := cfg.runs(150)
+	sums := make([]float64, len(quants))
+	for i := 0; i < runs; i++ {
+		m := channel.Cluster(rng, env.Band28GHz(), u, params)
+		var beams []multibeam.Beam
+		for k := range m.Paths {
+			d, s := m.RelativeGain(k, 0)
+			beams = append(beams, multibeam.Beam{Angle: m.Paths[k].AoD, Amp: d, Phase: s})
+		}
+		w, err := multibeam.Weights(u, beams)
+		if err != nil {
+			continue
+		}
+		for qi, q := range quants {
+			wq := w
+			if q.q.PhaseBits > 0 || q.q.GainRangeDB > 0 {
+				wq = q.q.Apply(w)
+			}
+			sums[qi] += budget.WidebandSNRdB(m.EffectiveWideband(wq, offs))
+		}
+	}
+	for qi, q := range quants {
+		mean := sums[qi] / float64(runs)
+		t.AddRow(q.name, stats.Fmt(mean), stats.Fmt(sums[0]/float64(runs)-mean))
+	}
+	return t
+}
+
+// AblationMaintenancePeriod sweeps the CSI-RS maintenance cadence: slower
+// maintenance means lower overhead but later blockage/mobility response.
+func AblationMaintenancePeriod(cfg Config) *stats.Table {
+	t := stats.NewTable("Ablation A2 — maintenance cadence vs reliability (outdoor mobile+blockage)",
+		"period_ms", "mean_rel", "mean_thr_Mbps", "retrains_per_s")
+	budget := sim.OutdoorBudget()
+	runner := sim.Runner{Warmup: sim.StandardWarmup}
+	runs := cfg.runs(10)
+	for _, periodMs := range []float64{5, 10, 20, 40, 80} {
+		var rel, thr, retr float64
+		for i := 0; i < runs; i++ {
+			seed := cfg.Seed*10 + int64(i)
+			mcfg := manager.DefaultConfig()
+			mcfg.MaintainPeriod = periodMs * 1e-3
+			mgr, err := manager.New("m", antenna.NewULA(8, 28e9), budget, nr.Mu3(), mcfg, rand.New(rand.NewSource(seed)))
+			if err != nil {
+				panic(err)
+			}
+			out, err := runner.Run(sim.ThinMarginOutdoor(seed), mgr)
+			if err != nil {
+				panic(err)
+			}
+			s := out["m"].Summary
+			rel += s.Reliability
+			thr += s.MeanThroughput
+			retr += float64(mgr.Retrains - 1)
+		}
+		n := float64(runs)
+		t.AddRow(stats.Fmt(periodMs), stats.Fmt(rel/n), stats.Fmt(thr/n/1e6), stats.Fmt(retr/n))
+	}
+	return t
+}
+
+// AblationCorrelatedBlockage compares independent per-path blockers against
+// body blocks that occlude every path at once — the failure mode §3.1
+// concedes no multi-beam can survive.
+func AblationCorrelatedBlockage(cfg Config) *stats.Table {
+	t := stats.NewTable("Ablation A3 — independent vs correlated (all-path) blockage",
+		"all_path_prob", "mmreliable_rel", "reactive_rel")
+	budget := sim.OutdoorBudget()
+	runner := sim.Runner{Warmup: sim.StandardWarmup}
+	runs := cfg.runs(10)
+	for _, prob := range []float64{0, 0.5, 1.0} {
+		var mmRel, reRel float64
+		for i := 0; i < runs; i++ {
+			seed := cfg.Seed*100 + int64(i)
+			mkScenario := func() *sim.Scenario {
+				sc := sim.ThinMarginOutdoor(seed)
+				rng := rand.New(rand.NewSource(seed + 77))
+				gen := events.GenParams{
+					Horizon: 1.0, Rate: 1.5,
+					MinDuration: 0.1, MaxDuration: 0.5,
+					MinDepthDB: 20, MaxDepthDB: 30,
+					NumPaths: 1, AllPathProb: prob,
+				}
+				var sched events.Schedule
+				for len(sched) == 0 {
+					sched = events.Generate(rng, gen)
+				}
+				for j := range sched {
+					sched[j].Start += sim.StandardWarmup
+				}
+				sc.Blockage = sched
+				return sc
+			}
+			mgr, err := manager.New("m", antenna.NewULA(8, 28e9), budget, nr.Mu3(), manager.DefaultConfig(), rand.New(rand.NewSource(seed)))
+			if err != nil {
+				panic(err)
+			}
+			rc, err := newReactive(budget, seed)
+			if err != nil {
+				panic(err)
+			}
+			outM, err := runner.Run(mkScenario(), mgr)
+			if err != nil {
+				panic(err)
+			}
+			outR, err := runner.Run(mkScenario(), rc)
+			if err != nil {
+				panic(err)
+			}
+			mmRel += outM["m"].Summary.Reliability
+			reRel += outR["reactive"].Summary.Reliability
+		}
+		n := float64(runs)
+		t.AddRow(stats.Fmt(prob), stats.Fmt(mmRel/n), stats.Fmt(reRel/n))
+	}
+	return t
+}
+
+// AblationCCRefresh sweeps the constructive-combining phase refresh cadence
+// on the mobile small-spread link: slower refresh leaves stale phases.
+func AblationCCRefresh(cfg Config) *stats.Table {
+	t := stats.NewTable("Ablation A4 — CC phase-refresh cadence under 1.5 m/s motion",
+		"refresh_ms", "mean_snr_dB", "mean_thr_Mbps")
+	budget := sim.IndoorBudget()
+	budget.TxPowerDBm -= 10
+	runner := sim.Runner{Warmup: sim.StandardWarmup}
+	for _, refreshMs := range []float64{0.5, 1, 2, 5, 20} {
+		mcfg := manager.DefaultConfig()
+		mcfg.CCRefreshPeriod = refreshMs * 1e-3
+		mgr, err := manager.New("m", antenna.NewULA(8, 28e9), budget, nr.Mu3(), mcfg, cfg.rng(904))
+		if err != nil {
+			panic(err)
+		}
+		out, err := runner.Run(sim.SmallSpreadMobile(cfg.Seed), mgr)
+		if err != nil {
+			panic(err)
+		}
+		s := out["m"].Summary
+		t.AddRow(stats.Fmt(refreshMs), stats.Fmt(s.MeanSNRdB), stats.Fmt(s.MeanThroughput/1e6))
+	}
+	return t
+}
+
+// AblationTrainingMethod compares exhaustive SSB-sweep training against
+// the hierarchical (logarithmic) search as mmReliable's front end: training
+// air time versus established link quality on the indoor multipath link.
+func AblationTrainingMethod(cfg Config) *stats.Table {
+	t := stats.NewTable("Ablation A5 — exhaustive vs hierarchical beam training",
+		"method", "training_slots", "mean_snr_dB", "beams", "reliability")
+	budget := sim.IndoorBudget()
+	runner := sim.Runner{Warmup: 0.05}
+	for _, hier := range []bool{false, true} {
+		name := "exhaustive"
+		if hier {
+			name = "hierarchical"
+		}
+		mcfg := manager.DefaultConfig()
+		mcfg.HierarchicalTraining = hier
+		mgr, err := manager.New(name, antenna.NewULA(8, 28e9), budget, nr.Mu3(), mcfg, cfg.rng(905))
+		if err != nil {
+			panic(err)
+		}
+		sc := sim.StaticIndoor(cfg.Seed)
+		sc.Duration = 0.4
+		out, err := runner.Run(sc, mgr)
+		if err != nil {
+			panic(err)
+		}
+		s := out[name].Summary
+		t.AddRow(name, stats.Fmt(float64(mgr.TrainingSlots)), stats.Fmt(s.MeanSNRdB),
+			stats.Fmt(float64(mgr.NumBeams())), stats.Fmt(s.Reliability))
+	}
+	return t
+}
+
+func newReactive(budget link.Budget, seed int64) (sim.Scheme, error) {
+	return baselines.NewSingleBeamReactive(antenna.NewULA(8, 28e9), budget, nr.Mu3(),
+		baselines.DefaultOptions(), rand.New(rand.NewSource(seed)))
+}

@@ -1,0 +1,95 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation. Each FigXX function produces the same data series the paper
+// plots, as a stats.Table, so the benchmark harness (bench_test.go) and the
+// mmbench command can print them. The per-experiment index in DESIGN.md
+// maps each function to the paper figure it reproduces; EXPERIMENTS.md
+// records paper-reported versus measured values.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mmreliable/internal/stats"
+)
+
+// Config controls experiment scale.
+type Config struct {
+	// Seed drives all randomness; equal seeds give identical tables.
+	Seed int64
+	// Quick reduces Monte-Carlo volume for use inside the test suite.
+	Quick bool
+}
+
+// DefaultConfig returns the full-scale deterministic configuration.
+func DefaultConfig() Config { return Config{Seed: 1} }
+
+// runs scales a Monte-Carlo count down in quick mode.
+func (c Config) runs(full int) int {
+	if c.Quick {
+		q := full / 10
+		if q < 2 {
+			q = 2
+		}
+		return q
+	}
+	return full
+}
+
+// rng returns a fresh deterministic generator offset from the seed so each
+// experiment is independent of execution order.
+func (c Config) rng(offset int64) *rand.Rand {
+	return rand.New(rand.NewSource(c.Seed*1000003 + offset))
+}
+
+// Experiment names one reproducible figure.
+type Experiment struct {
+	ID    string // e.g. "4a"
+	Title string
+	Run   func(Config) *stats.Table
+}
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"4a", "CDF of strongest-reflector relative attenuation", Fig04aReflectorCDF},
+		{"4b", "Angle-time heatmap of strong paths under motion", Fig04bPathHeatmap},
+		{"8", "Delay phased array: SNR across frequency", Fig08DelaySpread},
+		{"11a", "Super-resolution per-beam power error vs relative ToF", Fig11aSuperresMSE},
+		{"11b", "Two-sinc recovery from a combined CIR", Fig11bTwoSinc},
+		{"13d", "Multi-beam pattern: theory vs quantized array", Fig13dPattern},
+		{"14", "Sensitivity of 2-beam SNR gain to phase/amplitude error", Fig14Sensitivity},
+		{"15a", "SNR vs second-beam phase: scan and 2-probe estimate", Fig15aPhaseScan},
+		{"15b", "SNR vs second-beam amplitude: scan and 2-probe estimate", Fig15bAmpScan},
+		{"15c", "Per-beam phase stability across 100 MHz", Fig15cPhaseStability},
+		{"15d", "SNR gain vs oracle: 2-beam, 3-beam, sub-array split", Fig15dOracleGap},
+		{"16", "Blockage time series: multi-beam vs single beam", Fig16Blockage},
+		{"17a", "Per-beam power vs rotation angle", Fig17aPowerVsRotation},
+		{"17b", "Rotation-angle tracking accuracy", Fig17bTrackingAccuracy},
+		{"17c", "Throughput under mobility: tracking and CC ablations", Fig17cTrackingThroughput},
+		{"18a", "Static link with blockers: throughput by scheme", Fig18aStaticBlockage},
+		{"18b", "Mobile-link reliability by scheme", Fig18bReliability},
+		{"18c", "Throughput-reliability tradeoff", Fig18cTradeoff},
+		{"18d", "Beam-management probing overhead vs array size", Fig18dOverhead},
+		{"19", "28 GHz vs 60 GHz multi-beam gain", Fig19Band60GHz},
+		{"a1", "Ablation: multi-beam SNR vs weight quantization", AblationQuantization},
+		{"a2", "Ablation: maintenance cadence vs reliability", AblationMaintenancePeriod},
+		{"a3", "Ablation: independent vs correlated blockage", AblationCorrelatedBlockage},
+		{"a4", "Ablation: CC phase-refresh cadence under motion", AblationCCRefresh},
+		{"a5", "Ablation: exhaustive vs hierarchical beam training", AblationTrainingMethod},
+		{"e1", "Extension: IRS-engineered reflection (§8)", ExtensionIRS},
+		{"e2", "Extension: multi-gNB handover on serving-cell death", ExtensionHandover},
+		{"e3", "Extension: measured-CQI rate adaptation vs genie MCS", ExtensionRateAdaptation},
+		{"e4", "Extension: 2-user hybrid beamforming (§8)", ExtensionMultiUser},
+	}
+}
+
+// ByID returns the experiment with the given ID.
+func ByID(id string) (Experiment, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown figure %q", id)
+}

@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"math"
+
+	"mmreliable/internal/antenna"
+	"mmreliable/internal/channel"
+	"mmreliable/internal/core/manager"
+	"mmreliable/internal/core/superres"
+	"mmreliable/internal/core/track"
+	"mmreliable/internal/dsp"
+	"mmreliable/internal/env"
+	"mmreliable/internal/link"
+	"mmreliable/internal/nr"
+	"mmreliable/internal/sim"
+	"mmreliable/internal/stats"
+)
+
+// Fig17aPowerVsRotation reproduces Fig. 17a: the per-beam power of a
+// 2-beam multi-beam, extracted by super-resolution, as the transmit array
+// rotates — the power follows the beam pattern and a smoothed fit stays
+// within ≈1 dB of it.
+func Fig17aPowerVsRotation(cfg Config) *stats.Table {
+	u := antenna.NewULA(8, 28e9)
+	b := link.DefaultBudget()
+	s, err := nr.NewSounder(nr.Mu3(), b.BandwidthHz, 64, b.NoiseToTxAmpRatio(), nr.DefaultImpairments(), cfg.rng(171))
+	if err != nil {
+		panic(err)
+	}
+	base := channel.FromSpecs(env.Band28GHz(), u, env.Band28GHz().PathLossDB(7), []channel.PathSpec{
+		{AoDDeg: 0, DelayNs: 23.3},
+		{AoDDeg: 30, RelAttDB: 4, PhaseRad: 1.0, DelayNs: 26.5},
+	})
+	w := base.PerAntennaCSI(0).Conj().Normalize()
+
+	t := stats.NewTable("Fig 17a — per-beam power vs TX rotation",
+		"rot_deg", "beam0_dB", "beam1_dB", "pattern0_dB", "pattern1_dB")
+	var meas0, patt0 []float64
+	for _, rotDeg := range stats.Linspace(0, 8, 9) {
+		// Rotating the TX array shifts every departure angle.
+		m := base.Clone()
+		for k := range m.Paths {
+			m.Paths[k].AoD += dsp.Rad(rotDeg)
+		}
+		cir := s.CIR(s.Probe(m, w))
+		res, err := superres.Extract(cir, []float64{0, 3.2e-9}, s.DelayKernel, s.SampleSpacing(), superres.DefaultConfig())
+		if err != nil {
+			continue
+		}
+		p0 := dsp.DB(res.Power[0])
+		p1 := dsp.DB(res.Power[1])
+		// Expected from the beam pattern (relative to 0° rotation).
+		g0 := dsp.DB(u.Gain(w, dsp.Rad(rotDeg)) / u.Gain(w, 0))
+		g1 := dsp.DB(u.Gain(w, dsp.Rad(30+rotDeg)) / u.Gain(w, dsp.Rad(30)))
+		t.AddRow(stats.Fmt(rotDeg), stats.Fmt(p0), stats.Fmt(p1), stats.Fmt(g0), stats.Fmt(g1))
+		meas0 = append(meas0, p0)
+		patt0 = append(patt0, g0)
+	}
+	// Fit agreement: normalize measured to its first sample, compare.
+	if len(meas0) > 2 {
+		var errs []float64
+		for i := range meas0 {
+			errs = append(errs, (meas0[i]-meas0[0])-patt0[i])
+		}
+		t.AddRow("beam0_fit_rmse_dB", stats.Fmt(rmse0(errs)), "", "", "")
+	}
+	return t
+}
+
+// Fig17bTrackingAccuracy reproduces Fig. 17b: the tracker's rotation-angle
+// estimate versus ground truth for rotations of 2–8°, LOS and NLOS beams.
+// Paper: ≈1° mean error.
+func Fig17bTrackingAccuracy(cfg Config) *stats.Table {
+	u := antenna.NewULA(8, 28e9)
+	t := stats.NewTable("Fig 17b — rotation tracking accuracy",
+		"true_deg", "est_los_deg", "est_nlos_deg", "err_los_deg", "err_nlos_deg")
+	trials := cfg.runs(50)
+	rng := cfg.rng(172)
+	tcfg := track.DefaultConfig()
+	// The gantry micro-benchmark tracks rotations down to 2°, whose power
+	// signature (≈0.3 dB) sits below the default deadband; the smoothed
+	// series supports a tighter one here.
+	tcfg.DeviationDeadbandDB = 0.2
+	for _, trueDeg := range []float64{2, 4, 6, 8} {
+		var estL, estN []float64
+		for i := 0; i < trials; i++ {
+			tr, err := track.New(u, tcfg, []float64{1e-8, 2.5e-9})
+			if err != nil {
+				panic(err)
+			}
+			var last []track.Status
+			// Ramp the rotation over 16 observations with ±0.3 dB
+			// measurement noise, then let the smoother settle.
+			for step := 1; step <= 22; step++ {
+				frac := math.Min(1, float64(step)/16)
+				dev := dsp.Rad(trueDeg) * frac
+				noise := func() float64 { return dsp.FromDB(0.3 * rng.NormFloat64()) }
+				a0 := u.ArrayFactor(0, dev)
+				a1 := u.ArrayFactor(dsp.Rad(30), dsp.Rad(30)+dev)
+				p := []float64{1e-8 * a0 * a0 * noise(), 2.5e-9 * a1 * a1 * noise()}
+				last, err = tr.Observe(float64(step)*0.02, p)
+				if err != nil {
+					panic(err)
+				}
+			}
+			estL = append(estL, dsp.Deg(last[0].Deviation))
+			estN = append(estN, dsp.Deg(last[1].Deviation))
+		}
+		meanL, meanN := stats.Mean(estL), stats.Mean(estN)
+		t.AddRow(stats.Fmt(trueDeg), stats.Fmt(meanL), stats.Fmt(meanN),
+			stats.Fmt(math.Abs(meanL-trueDeg)), stats.Fmt(math.Abs(meanN-trueDeg)))
+	}
+	return t
+}
+
+// Fig17cTrackingThroughput reproduces Fig. 17c: throughput over a 1 s
+// translation at 1.5 m/s for (i) no tracking, (ii) tracking without
+// constructive combining, (iii) full mmReliable. Paper: no-tracking decays
+// toward outage; tracking+CC holds; tracking-only sits ≈100 Mbps lower.
+func Fig17cTrackingThroughput(cfg Config) *stats.Table {
+	// Reduced transmit power keeps the link mid-MCS so rate differences
+	// are visible (at full indoor power every scheme saturates CQI 15).
+	budget := sim.IndoorBudget()
+	budget.TxPowerDBm -= 10
+	run := func(tracking, cc bool, name string) link.Summary {
+		mcfg := manager.DefaultConfig()
+		mcfg.ProactiveTracking = tracking
+		mcfg.ConstructiveCombining = cc
+		mgr, err := manager.New(name, antenna.NewULA(8, 28e9), budget, nr.Mu3(), mcfg, cfg.rng(173))
+		if err != nil {
+			panic(err)
+		}
+		sc := sim.SmallSpreadMobile(cfg.Seed) // mobility only, no blocker
+		out, err := sim.Runner{Warmup: sim.StandardWarmup}.Run(sc, mgr)
+		if err != nil {
+			panic(err)
+		}
+		return out[name].Summary
+	}
+	full := run(true, true, "track+cc")
+	noCC := run(true, false, "track-only")
+	noTrack := run(false, true, "no-track")
+
+	t := stats.NewTable("Fig 17c — throughput under 1.5 m/s translation",
+		"scheme", "mean_thr_Mbps", "mean_snr_dB", "reliability")
+	add := func(name string, s link.Summary) {
+		t.AddRow(name, stats.Fmt(s.MeanThroughput/1e6), stats.Fmt(s.MeanSNRdB), stats.Fmt(s.Reliability))
+	}
+	add("tracking+CC", full)
+	add("tracking-only", noCC)
+	add("no-tracking", noTrack)
+	return t
+}

@@ -1,0 +1,210 @@
+package link
+
+import (
+	"math"
+	"testing"
+
+	"mmreliable/internal/cmx"
+)
+
+func TestNoiseFloor(t *testing.T) {
+	b := DefaultBudget()
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// −174 + 10·log10(400e6) + 7 ≈ −80.98 dBm.
+	if got := b.NoiseFloorDBm(); math.Abs(got+80.98) > 0.05 {
+		t.Fatalf("noise floor = %g", got)
+	}
+	bad := Budget{BandwidthHz: 0}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero bandwidth should fail")
+	}
+}
+
+func TestSNRMatchesPaperIndoorScale(t *testing.T) {
+	// 7 m indoor link at 28 GHz with an 8-element array:
+	// FSPL(7 m) ≈ 78.3 dB, array gain 9 dB ⇒ |h_eff| ≈ 10^(−69.3/20).
+	b := DefaultBudget()
+	heff := math.Pow(10, -(78.3-9.0)/20)
+	snr := b.SNRdB(heff)
+	// Paper Fig. 15a: ≈27 dB peak indoors.
+	if snr < 23 || snr > 30 {
+		t.Fatalf("indoor SNR = %g dB, want ≈27", snr)
+	}
+	if !math.IsInf(b.SNRdB(0), -1) {
+		t.Fatal("zero channel should be −Inf SNR")
+	}
+}
+
+func TestWidebandSNRFlatEqualsNarrowband(t *testing.T) {
+	b := DefaultBudget()
+	amp := 3e-4
+	csi := make(cmx.Vector, 32)
+	for i := range csi {
+		csi[i] = complex(amp, 0)
+	}
+	wb := b.WidebandSNRdB(csi)
+	nb := b.SNRdB(amp)
+	if math.Abs(wb-nb) > 0.01 {
+		t.Fatalf("flat wideband %g vs narrowband %g", wb, nb)
+	}
+}
+
+func TestWidebandSNRPenalizesSelectivity(t *testing.T) {
+	b := DefaultBudget()
+	amp := 3e-4
+	flat := make(cmx.Vector, 32)
+	dips := make(cmx.Vector, 32)
+	for i := range flat {
+		flat[i] = complex(amp, 0)
+		if i%4 == 0 {
+			dips[i] = complex(amp/100, 0) // deep fade on 1/4 of the band
+		} else {
+			dips[i] = complex(amp*1.15, 0) // energy moved to the rest
+		}
+	}
+	if b.WidebandSNRdB(dips) >= b.WidebandSNRdB(flat) {
+		t.Fatal("selective channel should have lower effective SNR")
+	}
+	if !math.IsInf(b.WidebandSNRdB(nil), -1) {
+		t.Fatal("empty CSI should be −Inf")
+	}
+}
+
+func TestNoiseToTxAmpRatio(t *testing.T) {
+	b := DefaultBudget()
+	r := b.NoiseToTxAmpRatio()
+	// SNR for a channel amplitude equal to the ratio should be 0 dB.
+	if snr := b.SNRdB(r); math.Abs(snr) > 1e-9 {
+		t.Fatalf("SNR at noise-amplitude channel = %g, want 0", snr)
+	}
+}
+
+func TestCQILadderMonotone(t *testing.T) {
+	prevSNR, prevEff := math.Inf(-1), 0.0
+	for _, e := range CQITable {
+		if e.MinSNRdB <= prevSNR {
+			t.Fatalf("CQI %d threshold not increasing", e.Index)
+		}
+		if e.Efficiency <= prevEff {
+			t.Fatalf("CQI %d efficiency not increasing", e.Index)
+		}
+		prevSNR, prevEff = e.MinSNRdB, e.Efficiency
+	}
+}
+
+func TestCQIFromSNR(t *testing.T) {
+	if _, ok := CQIFromSNR(-10); ok {
+		t.Fatal("-10 dB should be out of range")
+	}
+	e, ok := CQIFromSNR(-6.7)
+	if !ok || e.Index != 1 {
+		t.Fatalf("at −6.7 dB got %+v", e)
+	}
+	e, _ = CQIFromSNR(12)
+	if e.Index != 10 {
+		t.Fatalf("at 12 dB got CQI %d", e.Index)
+	}
+	e, _ = CQIFromSNR(50)
+	if e.Index != 15 {
+		t.Fatalf("at 50 dB got CQI %d", e.Index)
+	}
+}
+
+func TestSpectralEfficiencyOutageGate(t *testing.T) {
+	// Below 6 dB → 0 even though CQI 1-7 would decode.
+	if got := SpectralEfficiency(5.9); got != 0 {
+		t.Fatalf("below-threshold efficiency %g", got)
+	}
+	if got := SpectralEfficiency(6.0); got <= 0 {
+		t.Fatal("at-threshold efficiency should be positive")
+	}
+	// Paper's ≈1.5 bits/s/Hz average implies SNR around CQI 4-5; check scale.
+	if eff := SpectralEfficiency(8.5); eff < 2.5 || eff > 4 {
+		t.Fatalf("efficiency at 8.5 dB = %g", eff)
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	// 27 dB, 400 MHz, no overhead → CQI 15: 7.4063 b/s/Hz ⇒ ≈2.96 Gb/s.
+	got := Throughput(27, 400e6, 0)
+	if math.Abs(got-7.4063*400e6) > 1 {
+		t.Fatalf("throughput = %g", got)
+	}
+	if Throughput(27, 400e6, 0.5) != got/2 {
+		t.Fatal("overhead scaling wrong")
+	}
+	if Throughput(27, 400e6, 1.2) != 0 {
+		t.Fatal("overhead ≥ 1 should zero throughput")
+	}
+	if Throughput(27, 400e6, -0.5) != got {
+		t.Fatal("negative overhead should clamp to 0")
+	}
+	if Throughput(0, 400e6, 0) != 0 {
+		t.Fatal("below-outage throughput should be 0")
+	}
+}
+
+func TestMeterReliability(t *testing.T) {
+	m := NewMeter()
+	if m.Reliability() != 0 || m.MeanThroughput() != 0 {
+		t.Fatal("empty meter should report zeros")
+	}
+	// 6 good slots, 2 outage, 2 training.
+	for i := 0; i < 6; i++ {
+		m.Record(20, false, 1e9)
+	}
+	m.Record(3, false, 0)
+	m.Record(2, false, 0)
+	m.Record(25, true, 0)
+	m.Record(25, true, 0)
+	if m.Slots() != 10 {
+		t.Fatalf("slots = %d", m.Slots())
+	}
+	if got := m.Reliability(); math.Abs(got-0.6) > 1e-12 {
+		t.Fatalf("reliability = %g", got)
+	}
+	if got := m.MeanThroughput(); math.Abs(got-6e8) > 1 {
+		t.Fatalf("mean throughput = %g", got)
+	}
+	if got := m.TRProduct(); math.Abs(got-3.6e8) > 1 {
+		t.Fatalf("TR product = %g", got)
+	}
+	if m.MinSNRdB() != 2 {
+		t.Fatalf("min SNR = %g", m.MinSNRdB())
+	}
+}
+
+func TestMeterOutageEpisodes(t *testing.T) {
+	m := NewMeter()
+	seq := []float64{20, 3, 3, 20, 3, 20, 20}
+	for _, s := range seq {
+		m.Record(s, false, 0)
+	}
+	if got := m.OutageEvents(); got != 2 {
+		t.Fatalf("outage episodes = %d want 2", got)
+	}
+}
+
+func TestMeterInfSNR(t *testing.T) {
+	m := NewMeter()
+	m.Record(math.Inf(-1), false, 0)
+	m.Record(10, false, 5e8)
+	// −Inf must not poison the mean.
+	if got := m.MeanSNRdB(); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("mean SNR = %g", got)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	m := NewMeter()
+	m.Record(20, false, 1e9)
+	s := m.Summarize()
+	if s.Reliability != 1 || s.MeanThroughput != 1e9 {
+		t.Fatalf("summary %+v", s)
+	}
+	if s.String() == "" {
+		t.Fatal("empty summary string")
+	}
+}

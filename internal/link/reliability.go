@@ -1,0 +1,118 @@
+package link
+
+import (
+	"fmt"
+	"math"
+)
+
+// Meter accumulates per-slot link outcomes over an observation interval and
+// reports the paper's metrics: reliability (Eq. 1, the fraction of time the
+// link is available), average throughput, and their product.
+//
+// A slot counts as unavailable when its SNR is below the outage threshold
+// OR the slot was consumed by beam training (the paper's definition charges
+// training time against reliability).
+type Meter struct {
+	slots      int
+	available  int
+	thrSum     float64 // bits/s summed over slots
+	snrSum     float64
+	minSNR     float64
+	outageRuns int
+	inOutage   bool
+}
+
+// NewMeter returns an empty meter.
+func NewMeter() *Meter {
+	return &Meter{minSNR: math.Inf(1)}
+}
+
+// Record adds one slot outcome. snrDB may be −Inf; training marks the slot
+// as consumed by beam management (unavailable regardless of SNR);
+// throughput is the data rate achieved in the slot (0 during training or
+// outage).
+func (m *Meter) Record(snrDB float64, training bool, throughput float64) {
+	m.slots++
+	outage := training || snrDB < OutageThresholdDB
+	if !outage {
+		m.available++
+	}
+	if outage && !m.inOutage {
+		m.outageRuns++
+	}
+	m.inOutage = outage
+	m.thrSum += throughput
+	if !math.IsInf(snrDB, -1) {
+		m.snrSum += snrDB
+	}
+	if snrDB < m.minSNR {
+		m.minSNR = snrDB
+	}
+}
+
+// Slots returns the number of recorded slots.
+func (m *Meter) Slots() int { return m.slots }
+
+// Reliability returns the fraction of slots during which the link was
+// available (Eq. 1). It returns 0 before any slot is recorded.
+func (m *Meter) Reliability() float64 {
+	if m.slots == 0 {
+		return 0
+	}
+	return float64(m.available) / float64(m.slots)
+}
+
+// MeanThroughput returns the average throughput across all slots in bits/s
+// (outage slots count as zero, as in the paper's time averages).
+func (m *Meter) MeanThroughput() float64 {
+	if m.slots == 0 {
+		return 0
+	}
+	return m.thrSum / float64(m.slots)
+}
+
+// MeanSNRdB returns the average of finite SNR samples.
+func (m *Meter) MeanSNRdB() float64 {
+	if m.slots == 0 {
+		return 0
+	}
+	return m.snrSum / float64(m.slots)
+}
+
+// MinSNRdB returns the worst recorded SNR (+Inf before any record).
+func (m *Meter) MinSNRdB() float64 { return m.minSNR }
+
+// OutageEvents returns the number of distinct outage episodes.
+func (m *Meter) OutageEvents() int { return m.outageRuns }
+
+// TRProduct returns the throughput–reliability product (the paper's
+// headline comparison metric, Fig. 18c), in bits/s.
+func (m *Meter) TRProduct() float64 {
+	return m.MeanThroughput() * m.Reliability()
+}
+
+// Summary is a value snapshot of a Meter for aggregation across runs.
+type Summary struct {
+	Reliability    float64
+	MeanThroughput float64 // bits/s
+	MeanSNRdB      float64
+	TRProduct      float64
+	OutageEvents   int
+}
+
+// Summarize returns the meter's metrics as a value.
+func (m *Meter) Summarize() Summary {
+	return Summary{
+		Reliability:    m.Reliability(),
+		MeanThroughput: m.MeanThroughput(),
+		MeanSNRdB:      m.MeanSNRdB(),
+		TRProduct:      m.TRProduct(),
+		OutageEvents:   m.OutageEvents(),
+	}
+}
+
+// String renders the summary compactly.
+func (s Summary) String() string {
+	return fmt.Sprintf("rel=%.3f thr=%.1f Mbps snr=%.1f dB trp=%.1f Mbps outages=%d",
+		s.Reliability, s.MeanThroughput/1e6, s.MeanSNRdB, s.TRProduct/1e6, s.OutageEvents)
+}

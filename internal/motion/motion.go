@@ -1,0 +1,148 @@
+// Package motion provides mobility traces for the UE (and, for gantry-style
+// micro-benchmarks, the gNB array): uniform rotation and translation,
+// waypoint trajectories, and natural-motion jitter. Every trace yields an
+// exact ground-truth pose, replacing the paper's Cinetics gantry readouts
+// for tracking-accuracy evaluation.
+package motion
+
+import (
+	"math"
+	"math/rand"
+
+	"mmreliable/internal/env"
+)
+
+// Trace yields the pose of a terminal at any time t ≥ 0 (seconds).
+type Trace interface {
+	At(t float64) env.Pose
+}
+
+// Static is a trace that never moves.
+type Static struct {
+	Pose env.Pose
+}
+
+// At implements Trace.
+func (s Static) At(float64) env.Pose { return s.Pose }
+
+// Rotation spins the terminal in place at a constant angular rate,
+// reproducing the paper's gantry rotation experiments (2–24 °/s; 24 °/s is
+// cited as typical VR headset motion).
+type Rotation struct {
+	Base      env.Pose
+	RateRadPS float64 // angular rate (rad/s), positive = counterclockwise
+}
+
+// At implements Trace.
+func (r Rotation) At(t float64) env.Pose {
+	p := r.Base
+	p.Facing += r.RateRadPS * t
+	return p
+}
+
+// Translation moves the terminal at constant velocity. If TrackTarget is
+// non-nil the terminal keeps facing that world point while moving (a UE
+// pointed at its gNB); otherwise Facing stays fixed.
+type Translation struct {
+	Start       env.Vec2
+	Vel         env.Vec2 // m/s
+	Facing      float64
+	TrackTarget *env.Vec2
+}
+
+// At implements Trace.
+func (tr Translation) At(t float64) env.Pose {
+	pos := tr.Start.Add(tr.Vel.Scale(t))
+	facing := tr.Facing
+	if tr.TrackTarget != nil {
+		facing = tr.TrackTarget.Sub(pos).Angle()
+	}
+	return env.Pose{Pos: pos, Facing: facing}
+}
+
+// Waypoints interpolates linearly through a sequence of timed poses,
+// clamping before the first and after the last.
+type Waypoints struct {
+	Times []float64 // strictly increasing
+	Poses []env.Pose
+}
+
+// At implements Trace.
+func (w Waypoints) At(t float64) env.Pose {
+	n := len(w.Times)
+	if n == 0 {
+		return env.Pose{}
+	}
+	if t <= w.Times[0] {
+		return w.Poses[0]
+	}
+	if t >= w.Times[n-1] {
+		return w.Poses[n-1]
+	}
+	i := 1
+	for w.Times[i] < t {
+		i++
+	}
+	t0, t1 := w.Times[i-1], w.Times[i]
+	frac := (t - t0) / (t1 - t0)
+	p0, p1 := w.Poses[i-1], w.Poses[i]
+	return env.Pose{
+		Pos: env.Vec2{
+			X: p0.Pos.X + frac*(p1.Pos.X-p0.Pos.X),
+			Y: p0.Pos.Y + frac*(p1.Pos.Y-p0.Pos.Y),
+		},
+		Facing: p0.Facing + frac*angleDiff(p1.Facing, p0.Facing),
+	}
+}
+
+func angleDiff(a, b float64) float64 {
+	d := math.Mod(a-b, 2*math.Pi)
+	if d > math.Pi {
+		d -= 2 * math.Pi
+	}
+	if d < -math.Pi {
+		d += 2 * math.Pi
+	}
+	return d
+}
+
+// Jitter wraps a trace with band-limited positional and angular noise to
+// approximate natural (hand-held / cart-pushed) motion. Noise is a sum of a
+// few random sinusoids so the perturbation is smooth and deterministic for
+// a given seed.
+type Jitter struct {
+	Inner    Trace
+	PosAmp   float64 // meters
+	AngAmp   float64 // radians
+	numTerms int
+	freqs    []float64 // Hz
+	phases   []float64
+}
+
+// NewJitter builds a jitter wrapper with noise energy between about 0.5 and
+// 3 Hz, seeded from rng.
+func NewJitter(inner Trace, posAmp, angAmp float64, rng *rand.Rand) *Jitter {
+	const terms = 4
+	j := &Jitter{Inner: inner, PosAmp: posAmp, AngAmp: angAmp, numTerms: terms}
+	for i := 0; i < 3*terms; i++ {
+		j.freqs = append(j.freqs, 0.5+2.5*rng.Float64())
+		j.phases = append(j.phases, 2*math.Pi*rng.Float64())
+	}
+	return j
+}
+
+// At implements Trace.
+func (j *Jitter) At(t float64) env.Pose {
+	p := j.Inner.At(t)
+	var dx, dy, da float64
+	for i := 0; i < j.numTerms; i++ {
+		dx += math.Sin(2*math.Pi*j.freqs[i]*t + j.phases[i])
+		dy += math.Sin(2*math.Pi*j.freqs[j.numTerms+i]*t + j.phases[j.numTerms+i])
+		da += math.Sin(2*math.Pi*j.freqs[2*j.numTerms+i]*t + j.phases[2*j.numTerms+i])
+	}
+	norm := 1 / float64(j.numTerms)
+	p.Pos.X += j.PosAmp * dx * norm
+	p.Pos.Y += j.PosAmp * dy * norm
+	p.Facing += j.AngAmp * da * norm
+	return p
+}

@@ -1,0 +1,157 @@
+package motion
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mmreliable/internal/env"
+)
+
+func TestStatic(t *testing.T) {
+	p := env.Pose{Pos: env.Vec2{X: 1, Y: 2}, Facing: 0.5}
+	s := Static{Pose: p}
+	if s.At(0) != p || s.At(100) != p {
+		t.Fatal("static trace moved")
+	}
+}
+
+func TestRotation(t *testing.T) {
+	r := Rotation{
+		Base:      env.Pose{Pos: env.Vec2{X: 3, Y: 4}, Facing: 0},
+		RateRadPS: math.Pi / 2, // 90°/s
+	}
+	if got := r.At(0); got.Facing != 0 {
+		t.Fatalf("t=0 facing %g", got.Facing)
+	}
+	got := r.At(1)
+	if math.Abs(got.Facing-math.Pi/2) > 1e-12 {
+		t.Fatalf("t=1 facing %g", got.Facing)
+	}
+	if got.Pos != (env.Vec2{X: 3, Y: 4}) {
+		t.Fatal("rotation moved position")
+	}
+}
+
+func TestTranslation(t *testing.T) {
+	tr := Translation{
+		Start:  env.Vec2{X: 0, Y: 5},
+		Vel:    env.Vec2{X: 1.5, Y: 0}, // the paper's 1.5 m/s cart speed
+		Facing: math.Pi,
+	}
+	got := tr.At(2)
+	if got.Pos != (env.Vec2{X: 3, Y: 5}) {
+		t.Fatalf("pos = %v", got.Pos)
+	}
+	if got.Facing != math.Pi {
+		t.Fatalf("facing = %g", got.Facing)
+	}
+}
+
+func TestTranslationTracksTarget(t *testing.T) {
+	target := env.Vec2{X: 0, Y: 0}
+	tr := Translation{
+		Start:       env.Vec2{X: 10, Y: 0},
+		Vel:         env.Vec2{X: 0, Y: 1},
+		TrackTarget: &target,
+	}
+	// At t=0 the UE at (10,0) faces the origin: angle π.
+	if got := tr.At(0); math.Abs(got.Facing-math.Pi) > 1e-12 {
+		t.Fatalf("facing = %g", got.Facing)
+	}
+	// At t=10 the UE is at (10,10); direction to origin is -3π/4.
+	if got := tr.At(10); math.Abs(got.Facing-(-3*math.Pi/4)) > 1e-12 {
+		t.Fatalf("facing = %g", got.Facing)
+	}
+}
+
+func TestWaypoints(t *testing.T) {
+	w := Waypoints{
+		Times: []float64{0, 1, 3},
+		Poses: []env.Pose{
+			{Pos: env.Vec2{X: 0, Y: 0}, Facing: 0},
+			{Pos: env.Vec2{X: 2, Y: 0}, Facing: math.Pi / 2},
+			{Pos: env.Vec2{X: 2, Y: 4}, Facing: math.Pi / 2},
+		},
+	}
+	// Clamping.
+	if got := w.At(-1); got.Pos != (env.Vec2{X: 0, Y: 0}) {
+		t.Fatalf("pre-clamp %v", got)
+	}
+	if got := w.At(10); got.Pos != (env.Vec2{X: 2, Y: 4}) {
+		t.Fatalf("post-clamp %v", got)
+	}
+	// Midpoint of first leg.
+	got := w.At(0.5)
+	if math.Abs(got.Pos.X-1) > 1e-12 || math.Abs(got.Facing-math.Pi/4) > 1e-12 {
+		t.Fatalf("interpolation %v", got)
+	}
+	// Midpoint of second leg.
+	got = w.At(2)
+	if math.Abs(got.Pos.Y-2) > 1e-12 {
+		t.Fatalf("interpolation %v", got)
+	}
+	// Empty trace returns zero pose.
+	if got := (Waypoints{}).At(1); got != (env.Pose{}) {
+		t.Fatalf("empty waypoints %v", got)
+	}
+}
+
+func TestWaypointsAngleWrap(t *testing.T) {
+	// Interpolating from 170° to −170° should go through 180°, not 0°.
+	w := Waypoints{
+		Times: []float64{0, 1},
+		Poses: []env.Pose{
+			{Facing: 170 * math.Pi / 180},
+			{Facing: -170 * math.Pi / 180},
+		},
+	}
+	mid := w.At(0.5).Facing
+	midDeg := math.Mod(mid*180/math.Pi+360, 360)
+	if math.Abs(midDeg-180) > 1e-9 {
+		t.Fatalf("wrapped midpoint = %g°", midDeg)
+	}
+}
+
+func TestJitterStaysBoundedAndSmooth(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	base := Static{Pose: env.Pose{Pos: env.Vec2{X: 5, Y: 5}}}
+	j := NewJitter(base, 0.02, 0.01, rng)
+	var prev env.Pose
+	for i := 0; i <= 1000; i++ {
+		ts := float64(i) * 0.001
+		p := j.At(ts)
+		if p.Pos.Dist(base.Pose.Pos) > 0.05 {
+			t.Fatalf("jitter too large at t=%g: %v", ts, p.Pos)
+		}
+		if math.Abs(p.Facing) > 0.02 {
+			t.Fatalf("angular jitter too large: %g", p.Facing)
+		}
+		if i > 0 {
+			// Smoothness: < 1 mm per ms at these amplitudes/frequencies.
+			if p.Pos.Dist(prev.Pos) > 1e-3 {
+				t.Fatalf("jitter jumped %g m in 1 ms", p.Pos.Dist(prev.Pos))
+			}
+		}
+		prev = p
+	}
+	// Deterministic for a fixed seed.
+	rng2 := rand.New(rand.NewSource(17))
+	j2 := NewJitter(Static{Pose: env.Pose{Pos: env.Vec2{X: 5, Y: 5}}}, 0.02, 0.01, rng2)
+	if j.At(0.5) != j2.At(0.5) {
+		t.Fatal("jitter not deterministic for equal seeds")
+	}
+}
+
+func TestAngleDiff(t *testing.T) {
+	cases := []struct{ a, b, want float64 }{
+		{0.5, 0.2, 0.3},
+		{-3, 3, 2*math.Pi - 6},
+		{3, -3, 6 - 2*math.Pi},
+	}
+	for _, c := range cases {
+		if got := angleDiff(c.a, c.b); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("angleDiff(%g, %g) = %g want %g", c.a, c.b, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package nr
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mmreliable/internal/antenna"
+	"mmreliable/internal/channel"
+)
+
+// Hierarchical beam training: instead of sweeping every narrow beam, probe
+// a few wide (reduced-aperture) beams, descend into the strongest sectors
+// with progressively narrower beams, and finish on full-aperture beams.
+// This is the logarithmic-time alternative (Hassanieh et al. style) the
+// paper cites for both its reactive baseline and as a faster front end to
+// mmReliable's establishment. To find multiple paths, the search keeps the
+// top-K sectors alive at every level.
+//
+// For an N-element array with branching factor B, the search probes
+// B·K·ceil(log_B(#narrow beams)) beams instead of all #narrow beams.
+
+// HierConfig tunes the hierarchical sweep.
+type HierConfig struct {
+	// Branch is the number of child sectors probed per parent (≥2).
+	Branch int
+	// Keep is how many sectors survive each level (≥1); ≥2 is needed to
+	// find multiple multipath directions.
+	Keep int
+	// NarrowBeams is the resolution of the final level (the equivalent
+	// exhaustive codebook size).
+	NarrowBeams int
+	// ScanMin and ScanMax bound the angular search (radians).
+	ScanMin, ScanMax float64
+	// DynRangeDB discards final beams weaker than this below the best.
+	DynRangeDB float64
+}
+
+// DefaultHierConfig uses branching 4 with two survivors and a final
+// resolution of 16 sectors over ±60° — about the half-power beamwidth of
+// an 8-element array. Descending below the array's resolution is
+// counter-productive: a path's energy then spans several final sectors and
+// its neighbors crowd out genuinely distinct paths.
+func DefaultHierConfig() HierConfig {
+	return HierConfig{
+		Branch:      4,
+		Keep:        2,
+		NarrowBeams: 16,
+		ScanMin:     -math.Pi / 3,
+		ScanMax:     math.Pi / 3,
+		DynRangeDB:  10,
+	}
+}
+
+// Validate checks the configuration.
+func (c HierConfig) Validate() error {
+	if c.Branch < 2 || c.Keep < 1 || c.NarrowBeams < c.Branch {
+		return fmt.Errorf("nr: invalid hierarchical config %+v", c)
+	}
+	if c.ScanMax <= c.ScanMin {
+		return fmt.Errorf("nr: empty scan range")
+	}
+	return nil
+}
+
+// sector is a candidate angular interval during the descent.
+type sector struct {
+	lo, hi float64
+	rss    float64
+}
+
+// HierSweep runs the hierarchical search and returns the found beam angles
+// (strongest first), their RSS, the probe count, and the air time consumed
+// (one SSB per probe, as in the exhaustive sweep).
+type HierResult struct {
+	Angles   []float64
+	RSS      []float64
+	NumProbe int
+	AirTime  float64
+}
+
+// HierSweep performs hierarchical beam training over the channel m.
+func HierSweep(s *Sounder, m *channel.Model, u *antenna.ULA, cfg HierConfig) (HierResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return HierResult{}, err
+	}
+	res := HierResult{}
+	// Depth so that Branch^depth ≥ NarrowBeams.
+	depth := int(math.Ceil(math.Log(float64(cfg.NarrowBeams)) / math.Log(float64(cfg.Branch))))
+	if depth < 1 {
+		depth = 1
+	}
+	live := []sector{{lo: cfg.ScanMin, hi: cfg.ScanMax}}
+	for level := 1; level <= depth; level++ {
+		// Aperture grows with depth: wide beams early, full aperture last.
+		frac := float64(level) / float64(depth)
+		active := int(math.Max(2, math.Round(frac*float64(u.N))))
+		var next []sector
+		for _, sec := range live {
+			step := (sec.hi - sec.lo) / float64(cfg.Branch)
+			for b := 0; b < cfg.Branch; b++ {
+				lo := sec.lo + float64(b)*step
+				hi := lo + step
+				center := (lo + hi) / 2
+				w := antenna.WideBeam(u, center, active)
+				rss := RSS(s.Probe(m, w))
+				res.NumProbe++
+				next = append(next, sector{lo: lo, hi: hi, rss: rss})
+			}
+		}
+		sort.Slice(next, func(i, j int) bool { return next[i].rss > next[j].rss })
+		// Keep the top sectors, but never two ADJACENT ones: a path on a
+		// sector boundary leaks into both neighbors and would otherwise
+		// hog every survivor slot, dropping genuinely distinct paths.
+		var kept []sector
+		for _, cand := range next {
+			adjacent := false
+			for _, k := range kept {
+				if cand.lo <= k.hi+1e-12 && k.lo <= cand.hi+1e-12 {
+					adjacent = true
+					break
+				}
+			}
+			if !adjacent {
+				kept = append(kept, cand)
+				if len(kept) == cfg.Keep {
+					break
+				}
+			}
+		}
+		if len(kept) == 0 && len(next) > 0 {
+			kept = next[:1]
+		}
+		live = kept
+	}
+	res.AirTime = float64(res.NumProbe) * s.Num.SSBDuration()
+	if len(live) == 0 {
+		return res, nil
+	}
+	floor := live[0].rss * math.Pow(10, -cfg.DynRangeDB/10)
+	for _, sec := range live {
+		if sec.rss < floor {
+			continue
+		}
+		res.Angles = append(res.Angles, (sec.lo+sec.hi)/2)
+		res.RSS = append(res.RSS, sec.rss)
+	}
+	return res, nil
+}
+
+// HierProbeCount returns the number of probes a hierarchical sweep issues
+// for the given configuration (for overhead accounting without running it).
+func HierProbeCount(cfg HierConfig) int {
+	depth := int(math.Ceil(math.Log(float64(cfg.NarrowBeams)) / math.Log(float64(cfg.Branch))))
+	if depth < 1 {
+		depth = 1
+	}
+	// Level 1 probes Branch sectors from the single root; afterwards each
+	// of the Keep survivors spawns Branch probes.
+	return cfg.Branch + (depth-1)*cfg.Keep*cfg.Branch
+}

@@ -1,0 +1,63 @@
+// Package nr provides the 5G-NR-flavored PHY layer of the simulator:
+// numerology/timing, an OFDM channel sounder that produces CSI estimates
+// through actual pilot modulation/demodulation with AWGN and CFO/SFO
+// impairments, SSB beam-sweep training, and probing-overhead accounting.
+//
+// The CFO/SFO model is the load-bearing detail: every probe observes the
+// channel through an unknown common phase (carrier frequency offset) and an
+// unknown linear phase slope across subcarriers (sampling/timing offset).
+// Channel magnitudes survive both, which is why mmReliable's two-probe
+// estimator (§3.3) works from magnitudes alone.
+package nr
+
+import "fmt"
+
+// Numerology describes an OFDM configuration. The paper uses 5G NR FR2
+// numerology μ=3: 120 kHz subcarrier spacing, 14-symbol slots.
+type Numerology struct {
+	SCSHz          float64 // subcarrier spacing
+	SymbolsPerSlot int
+	CPFraction     float64 // cyclic prefix duration as a fraction of the symbol
+}
+
+// Mu3 returns FR2 numerology μ=3 (120 kHz SCS). Symbol duration with
+// normal CP ≈ 8.93 µs; slot duration 125 µs.
+func Mu3() Numerology {
+	return Numerology{SCSHz: 120e3, SymbolsPerSlot: 14, CPFraction: 0.0703}
+}
+
+// Validate checks the numerology.
+func (n Numerology) Validate() error {
+	if n.SCSHz <= 0 || n.SymbolsPerSlot <= 0 || n.CPFraction < 0 {
+		return fmt.Errorf("nr: invalid numerology %+v", n)
+	}
+	return nil
+}
+
+// SymbolDuration returns the OFDM symbol duration including cyclic prefix.
+func (n Numerology) SymbolDuration() float64 {
+	return (1 + n.CPFraction) / n.SCSHz
+}
+
+// SlotDuration returns the slot duration in seconds.
+func (n Numerology) SlotDuration() float64 {
+	return float64(n.SymbolsPerSlot) * n.SymbolDuration()
+}
+
+// Standard signaling durations from the paper's §6.2 accounting: one
+// CSI-RS occupies one slot (0.125 ms at μ=3) and one SSB takes four slots
+// (0.5 ms).
+const (
+	CSIRSSlots = 1
+	SSBSlots   = 4
+)
+
+// CSIRSDuration returns the air time of one CSI-RS probe.
+func (n Numerology) CSIRSDuration() float64 {
+	return CSIRSSlots * n.SlotDuration()
+}
+
+// SSBDuration returns the air time of one SSB beam probe.
+func (n Numerology) SSBDuration() float64 {
+	return SSBSlots * n.SlotDuration()
+}

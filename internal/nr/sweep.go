@@ -1,0 +1,131 @@
+package nr
+
+import (
+	"math"
+	"sort"
+
+	"mmreliable/internal/antenna"
+	"mmreliable/internal/channel"
+)
+
+// SweepResult is the outcome of an SSB beam-training sweep.
+type SweepResult struct {
+	RSS      []float64 // received signal strength per codebook entry
+	Peaks    []int     // selected viable-beam indices, strongest first
+	AirTime  float64   // total signaling time consumed (s)
+	NumProbe int       // probes issued
+}
+
+// Angles returns the nominal angle of each selected peak.
+func (r SweepResult) Angles(cb *antenna.Codebook) []float64 {
+	out := make([]float64, len(r.Peaks))
+	for i, p := range r.Peaks {
+		out[i] = cb.Angles[p]
+	}
+	return out
+}
+
+// Sweep performs an exhaustive SSB sweep over the codebook, measuring RSS
+// with each beam, and selects up to maxBeams viable directions: local RSS
+// peaks separated by at least minSepIdx codebook entries and within
+// dynRangeDB of the strongest. This is the paper's "any standard beam
+// training" building block (Fig. 2).
+func Sweep(s *Sounder, m *channel.Model, cb *antenna.Codebook, maxBeams, minSepIdx int, dynRangeDB float64) SweepResult {
+	res := SweepResult{RSS: make([]float64, cb.Len())}
+	for i, w := range cb.Weights {
+		res.RSS[i] = RSS(s.Probe(m, w))
+		res.NumProbe++
+	}
+	res.AirTime = float64(res.NumProbe) * s.Num.SSBDuration()
+	res.Peaks = SelectPeaks(res.RSS, maxBeams, minSepIdx, dynRangeDB)
+	return res
+}
+
+// SelectPeaks picks up to maxBeams viable-beam indices from an RSS sweep by
+// successive masked selection (matching-pursuit style): take the global
+// maximum, mask out its angular neighborhood (± minSep−1 indices), take the
+// next maximum, and so on. Candidates more than dynRangeDB below the
+// strongest are rejected. This finds a second path even when wide scanning
+// beams merge two nearby paths into a single hump with no second local
+// maximum. Results are ordered strongest first.
+func SelectPeaks(rss []float64, maxBeams, minSep int, dynRangeDB float64) []int {
+	if len(rss) == 0 || maxBeams <= 0 {
+		return nil
+	}
+	if minSep < 1 {
+		minSep = 1
+	}
+	masked := make([]bool, len(rss))
+	var peaks []int
+	floor := math.Inf(1)
+	for len(peaks) < maxBeams {
+		best, bestVal := -1, 0.0
+		for i, v := range rss {
+			if !masked[i] && (best == -1 || v > bestVal) {
+				best, bestVal = i, v
+			}
+		}
+		if best == -1 {
+			break
+		}
+		if len(peaks) == 0 {
+			floor = bestVal * math.Pow(10, -dynRangeDB/10)
+		} else if bestVal < floor {
+			break
+		}
+		peaks = append(peaks, best)
+		for i := best - (minSep - 1); i <= best+(minSep-1); i++ {
+			if i >= 0 && i < len(rss) {
+				masked[i] = true
+			}
+		}
+	}
+	sort.Slice(peaks, func(a, b int) bool { return rss[peaks[a]] > rss[peaks[b]] })
+	return peaks
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// OverheadModel captures the §6.2 probing-overhead accounting (Fig. 18d).
+type OverheadModel struct {
+	Num Numerology
+}
+
+// NRTrainingTime returns the air time of a traditional 5G NR beam
+// refinement for an n-antenna array using the best known (logarithmic)
+// scanning method: 2·log2(n) SSB probes of 0.5 ms each — 3 ms at 8
+// antennas, 6 ms at 64.
+func (o OverheadModel) NRTrainingTime(nAntennas int) float64 {
+	if nAntennas < 2 {
+		return 0
+	}
+	steps := 2 * math.Log2(float64(nAntennas))
+	return steps * o.Num.SSBDuration()
+}
+
+// ExhaustiveTrainingTime returns the air time of a full codebook sweep.
+func (o OverheadModel) ExhaustiveTrainingTime(numBeams int) float64 {
+	return float64(numBeams) * o.Num.SSBDuration()
+}
+
+// MaintenanceProbes returns the number of CSI-RS probes one mmReliable
+// refinement round needs for a K-beam multi-beam: 2(K−1) constructive-
+// combining probes plus one motion-disambiguation probe (§4.2) — 3 probes
+// for 2 beams, 5 for 3 beams, independent of array size.
+func (o OverheadModel) MaintenanceProbes(kBeams int) int {
+	if kBeams < 2 {
+		return 1
+	}
+	return 2*(kBeams-1) + 1
+}
+
+// MaintenanceTime returns the air time of one mmReliable refinement round
+// for a K-beam multi-beam: ≈0.4 ms for 2 beams, ≈0.6 ms for 3 (Fig. 18d).
+func (o OverheadModel) MaintenanceTime(kBeams int) float64 {
+	return float64(o.MaintenanceProbes(kBeams)) * o.Num.CSIRSDuration()
+}

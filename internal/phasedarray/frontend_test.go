@@ -1,0 +1,182 @@
+package phasedarray
+
+import (
+	"math"
+	"testing"
+
+	"mmreliable/internal/antenna"
+	"mmreliable/internal/cmx"
+	"mmreliable/internal/dsp"
+)
+
+func newFE() *FrontEnd {
+	return New(antenna.NewULA(8, 28e9), antenna.DefaultQuantizer())
+}
+
+func TestStoreAndLoad(t *testing.T) {
+	f := newFE()
+	w := f.Array.SingleBeam(dsp.Rad(10))
+	if err := f.StoreBeam(1, w); err != nil {
+		t.Fatal(err)
+	}
+	if f.NumStored() != 1 {
+		t.Fatalf("stored %d", f.NumStored())
+	}
+	got, ok := f.Beam(1)
+	if !ok {
+		t.Fatal("beam missing")
+	}
+	if math.Abs(got.Norm()-1) > 1e-12 {
+		t.Fatal("stored beam not unit norm")
+	}
+	if _, ok := f.Beam(99); ok {
+		t.Fatal("phantom register")
+	}
+	if err := f.LoadBeam(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if f.Active() == nil {
+		t.Fatal("no active beam after load")
+	}
+	if err := f.LoadBeam(42, 0); err == nil {
+		t.Fatal("loading empty register should fail")
+	}
+}
+
+func TestSwitchLatency(t *testing.T) {
+	f := newFE()
+	w := f.Array.SingleBeam(0)
+	if err := f.SetWeights(w, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if f.Ready(1.0) {
+		t.Fatal("ready immediately after switch")
+	}
+	if f.Ready(1.0 + DefaultSwitchLatency/2) {
+		t.Fatal("ready mid-settle")
+	}
+	if !f.Ready(1.0 + DefaultSwitchLatency) {
+		t.Fatal("not ready after settle")
+	}
+	if f.BusyUntil() != 1.0+DefaultSwitchLatency {
+		t.Fatalf("BusyUntil = %g", f.BusyUntil())
+	}
+	if f.Switches() != 1 {
+		t.Fatalf("switches = %d", f.Switches())
+	}
+}
+
+func TestSetWeightsValidatesLength(t *testing.T) {
+	f := newFE()
+	if err := f.SetWeights(make(cmx.Vector, 3), 0); err == nil {
+		t.Fatal("short weights should fail")
+	}
+	if err := f.StoreBeam(0, make(cmx.Vector, 3)); err == nil {
+		t.Fatal("short stored beam should fail")
+	}
+}
+
+func TestActiveIsCopy(t *testing.T) {
+	f := newFE()
+	if f.Active() != nil {
+		t.Fatal("active before any switch")
+	}
+	_ = f.SetWeights(f.Array.SingleBeam(0), 0)
+	a := f.Active()
+	a[0] = 0
+	b := f.Active()
+	if b[0] == 0 {
+		t.Fatal("Active leaked internal state")
+	}
+}
+
+func TestTRPConservedAcrossBeamShapes(t *testing.T) {
+	f := newFE()
+	if f.TRP() != 0 {
+		t.Fatal("TRP before any beam")
+	}
+	_ = f.SetWeights(f.Array.SingleBeam(0), 0)
+	if math.Abs(f.TRP()-1) > 1e-9 {
+		t.Fatalf("single-beam TRP = %g", f.TRP())
+	}
+	// A 2-beam multi-beam must radiate the same total power.
+	_ = f.StoreBeam(0, f.Array.SingleBeam(0))
+	_ = f.StoreBeam(1, f.Array.SingleBeam(dsp.Rad(30)))
+	w, err := f.ComposeMultiBeam([]int{0, 1}, []complex128{1, complex(0.7, 0.2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = f.SetWeights(w, 0)
+	if math.Abs(f.TRP()-1) > 1e-9 {
+		t.Fatalf("multi-beam TRP = %g", f.TRP())
+	}
+}
+
+func TestComposeMultiBeamShapesTwoLobes(t *testing.T) {
+	f := newFE()
+	phi1, phi2 := 0.0, dsp.Rad(30)
+	_ = f.StoreBeam(0, f.Array.SingleBeam(phi1))
+	_ = f.StoreBeam(1, f.Array.SingleBeam(phi2))
+	w, err := f.ComposeMultiBeam([]int{0, 1}, []complex128{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := f.Array
+	gLobe1 := u.Gain(w, phi1)
+	gLobe2 := u.Gain(w, phi2)
+	gValley := u.Gain(w, dsp.Rad(15))
+	if gLobe1 < 2 || gLobe2 < 2 {
+		t.Fatalf("lobes too weak: %g, %g", gLobe1, gLobe2)
+	}
+	if gValley > gLobe1/2 || gValley > gLobe2/2 {
+		t.Fatalf("no valley between lobes: %g vs %g/%g", gValley, gLobe1, gLobe2)
+	}
+	// Equal split: each lobe near half the single-beam gain (N/2 = 4).
+	if math.Abs(gLobe1-4) > 1.0 || math.Abs(gLobe2-4) > 1.0 {
+		t.Fatalf("equal-split lobes should each have gain ≈4: %g, %g", gLobe1, gLobe2)
+	}
+}
+
+func TestComposeMultiBeamErrors(t *testing.T) {
+	f := newFE()
+	_ = f.StoreBeam(0, f.Array.SingleBeam(0))
+	if _, err := f.ComposeMultiBeam([]int{0}, []complex128{1, 2}); err == nil {
+		t.Fatal("mismatched lengths should fail")
+	}
+	if _, err := f.ComposeMultiBeam(nil, nil); err == nil {
+		t.Fatal("empty composition should fail")
+	}
+	if _, err := f.ComposeMultiBeam([]int{5}, []complex128{1}); err == nil {
+		t.Fatal("missing register should fail")
+	}
+	if _, err := f.ComposeMultiBeam([]int{0, 0}, []complex128{1, -1}); err == nil {
+		t.Fatal("cancelling coefficients should fail")
+	}
+}
+
+func TestQuantizationAppliedOnStore(t *testing.T) {
+	// With a coarse 2-bit quantizer, stored phases must land on the grid.
+	f := New(antenna.NewULA(8, 28e9), antenna.CoarseQuantizer())
+	_ = f.StoreBeam(0, f.Array.SingleBeam(dsp.Rad(17)))
+	w, _ := f.Beam(0)
+	step := math.Pi / 2
+	for i, x := range w {
+		if x == 0 {
+			continue
+		}
+		ph := math.Atan2(imag(x), real(x))
+		r := math.Mod(math.Abs(ph), step)
+		if math.Min(r, step-r) > 1e-9 {
+			t.Fatalf("element %d phase %g off 2-bit grid", i, ph)
+		}
+	}
+}
+
+func TestPhaseAt(t *testing.T) {
+	f := newFE()
+	_ = f.SetWeights(f.Array.SingleBeam(dsp.Rad(20)), 0)
+	// Element 0 of a matched beam has zero phase (reference element).
+	if got := f.PhaseAt(0); math.Abs(got) > 0.1 {
+		t.Fatalf("element 0 phase %g", got)
+	}
+}

@@ -1,0 +1,100 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestFadingStationaryStatistics(t *testing.T) {
+	f := NewFading(2.0, 10e-3, rand.New(rand.NewSource(21)))
+	const dt = 1e-3
+	var xs []float64
+	for i := 1; i <= 60000; i++ {
+		xs = append(xs, f.at(0, float64(i)*dt))
+	}
+	// Mean ≈ 0, std ≈ σ.
+	var sum, sum2 float64
+	for _, x := range xs {
+		sum += x
+		sum2 += x * x
+	}
+	n := float64(len(xs))
+	mean := sum / n
+	std := math.Sqrt(sum2/n - mean*mean)
+	if math.Abs(mean) > 0.15 {
+		t.Fatalf("fading mean %g, want ≈0", mean)
+	}
+	if math.Abs(std-2.0) > 0.2 {
+		t.Fatalf("fading std %g, want ≈2", std)
+	}
+}
+
+func TestFadingAutocorrelation(t *testing.T) {
+	f := NewFading(1.0, 10e-3, rand.New(rand.NewSource(22)))
+	const dt = 1e-3
+	var xs []float64
+	for i := 1; i <= 80000; i++ {
+		xs = append(xs, f.at(0, float64(i)*dt))
+	}
+	// Empirical lag-k autocorrelation should follow exp(−k·dt/τc).
+	acf := func(lag int) float64 {
+		var num, den float64
+		for i := 0; i+lag < len(xs); i++ {
+			num += xs[i] * xs[i+lag]
+		}
+		for _, x := range xs {
+			den += x * x
+		}
+		return num / den
+	}
+	for _, lagMs := range []int{5, 10, 20} {
+		got := acf(lagMs)
+		want := math.Exp(-float64(lagMs) * 1e-3 / 10e-3)
+		if math.Abs(got-want) > 0.1 {
+			t.Fatalf("ACF at %d ms = %g, want ≈%g", lagMs, got, want)
+		}
+	}
+}
+
+func TestFadingPerPathIndependence(t *testing.T) {
+	f := NewFading(1.0, 10e-3, rand.New(rand.NewSource(23)))
+	const dt = 1e-3
+	var cross, e0, e1 float64
+	var prevT float64
+	for i := 1; i <= 40000; i++ {
+		tm := float64(i) * dt
+		a := f.at(0, tm)
+		b := f.at(1, tm) // same timestamp: no double-advance
+		cross += a * b
+		e0 += a * a
+		e1 += b * b
+		prevT = tm
+	}
+	_ = prevT
+	rho := cross / math.Sqrt(e0*e1)
+	if math.Abs(rho) > 0.08 {
+		t.Fatalf("per-path fading correlation %g, want ≈0", rho)
+	}
+}
+
+func TestFadingDeterministicPerSeed(t *testing.T) {
+	a := NewFading(1.5, 10e-3, rand.New(rand.NewSource(9)))
+	b := NewFading(1.5, 10e-3, rand.New(rand.NewSource(9)))
+	for i := 1; i <= 100; i++ {
+		tm := float64(i) * 1e-3
+		if a.at(0, tm) != b.at(0, tm) || a.at(1, tm) != b.at(1, tm) {
+			t.Fatal("equal seeds diverged")
+		}
+	}
+}
+
+func TestFadingTimeMonotoneGuard(t *testing.T) {
+	f := NewFading(1.0, 10e-3, rand.New(rand.NewSource(10)))
+	v1 := f.at(0, 0.010)
+	// A rewound timestamp must not advance (dt clamps to 0) nor panic.
+	v2 := f.at(0, 0.005)
+	if v1 != v2 {
+		t.Fatalf("rewound time changed the state: %g vs %g", v1, v2)
+	}
+}

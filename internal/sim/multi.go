@@ -1,0 +1,147 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"mmreliable/internal/antenna"
+	"mmreliable/internal/channel"
+	"mmreliable/internal/env"
+	"mmreliable/internal/events"
+	"mmreliable/internal/link"
+	"mmreliable/internal/motion"
+	"mmreliable/internal/nr"
+)
+
+// MultiScheme is a beam-management policy that sees one channel snapshot
+// per gNB each slot — the contract for handover controllers and
+// joint-transmission schemes.
+type MultiScheme interface {
+	Name() string
+	StepMulti(t float64, ms []*channel.Model) Slot
+}
+
+// MultiScenario is a Scenario with several gNBs sharing one environment and
+// UE trace. Blockage event path indices address the concatenation of the
+// per-gNB initial path lists (gNB 0's paths first).
+type MultiScenario struct {
+	Env      *env.Environment
+	GNBs     []env.Pose
+	UE       motion.Trace
+	Blockage events.Schedule
+	Duration float64
+	Num      nr.Numerology
+	TxArray  *antenna.ULA
+	MaxPaths int
+	Fading   *Fading
+
+	subs []*Scenario
+}
+
+// Validate checks the scenario.
+func (sc *MultiScenario) Validate() error {
+	if sc.Env == nil || sc.UE == nil || sc.TxArray == nil {
+		return fmt.Errorf("sim: multi-scenario missing env/UE/array")
+	}
+	if len(sc.GNBs) == 0 {
+		return fmt.Errorf("sim: no gNBs")
+	}
+	if sc.Duration <= 0 {
+		return fmt.Errorf("sim: non-positive duration %g", sc.Duration)
+	}
+	return sc.Num.Validate()
+}
+
+// ChannelsAt returns one channel snapshot per gNB at time t.
+func (sc *MultiScenario) ChannelsAt(t float64) []*channel.Model {
+	if sc.subs == nil {
+		sc.subs = make([]*Scenario, len(sc.GNBs))
+		for g, pose := range sc.GNBs {
+			sub := &Scenario{
+				Env: sc.Env, GNB: pose, UE: sc.UE,
+				Duration: sc.Duration, Num: sc.Num,
+				TxArray: sc.TxArray, MaxPaths: sc.MaxPaths,
+				Fading: sc.Fading,
+			}
+			// Shift this gNB's blockage events into its local path index
+			// space: event PathIndex g*MaxPaths+k addresses gNB g's path k.
+			lo, hi := g*sc.MaxPaths, (g+1)*sc.MaxPaths
+			for _, e := range sc.Blockage {
+				if e.AllPaths {
+					sub.Blockage = append(sub.Blockage, e)
+					continue
+				}
+				if e.PathIndex >= lo && e.PathIndex < hi {
+					e.PathIndex -= lo
+					sub.Blockage = append(sub.Blockage, e)
+				}
+			}
+			sc.subs[g] = sub
+		}
+	}
+	out := make([]*channel.Model, len(sc.subs))
+	for g, sub := range sc.subs {
+		out[g] = sub.ChannelAt(t)
+	}
+	return out
+}
+
+// RunMulti replays the multi-gNB scenario against each scheme.
+func (r Runner) RunMulti(sc *MultiScenario, schemes ...MultiScheme) (map[string]Result, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	if len(schemes) == 0 {
+		return nil, fmt.Errorf("sim: no schemes")
+	}
+	if sc.MaxPaths <= 0 {
+		return nil, fmt.Errorf("sim: MultiScenario requires MaxPaths > 0 (blockage addressing)")
+	}
+	slotDur := sc.Num.SlotDuration()
+	nSlots := int(math.Ceil((sc.Duration + r.Warmup) / slotDur))
+	meters := make([]*link.Meter, len(schemes))
+	results := make([]Result, len(schemes))
+	for i := range schemes {
+		meters[i] = link.NewMeter()
+	}
+	for s := 0; s < nSlots; s++ {
+		t := float64(s) * slotDur
+		ms := sc.ChannelsAt(t)
+		for i, scheme := range schemes {
+			clones := make([]*channel.Model, len(ms))
+			for g := range ms {
+				clones[g] = ms[g].Clone()
+			}
+			slot := scheme.StepMulti(t, clones)
+			if t < r.Warmup {
+				continue
+			}
+			meters[i].Record(slot.SNRdB, slot.Training, slot.ThroughputBps)
+			if r.KeepSeries {
+				results[i].Series = append(results[i].Series, slot)
+				results[i].Times = append(results[i].Times, t)
+			}
+		}
+	}
+	out := make(map[string]Result, len(schemes))
+	for i, scheme := range schemes {
+		results[i].Summary = meters[i].Summarize()
+		out[scheme.Name()] = results[i]
+	}
+	return out, nil
+}
+
+// Pinned adapts a single-gNB Scheme to MultiScheme by pinning it to one
+// gNB — the no-handover baseline.
+type Pinned struct {
+	Scheme Scheme
+	GNB    int
+}
+
+// Name implements MultiScheme.
+func (p Pinned) Name() string { return p.Scheme.Name() }
+
+// StepMulti implements MultiScheme.
+func (p Pinned) StepMulti(t float64, ms []*channel.Model) Slot {
+	return p.Scheme.Step(t, ms[p.GNB])
+}

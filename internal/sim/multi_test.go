@@ -1,0 +1,121 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"mmreliable/internal/antenna"
+	"mmreliable/internal/channel"
+	"mmreliable/internal/env"
+	"mmreliable/internal/events"
+	"mmreliable/internal/motion"
+	"mmreliable/internal/nr"
+)
+
+func multiScenario() *MultiScenario {
+	e := env.NewEnvironment(env.Band28GHz(),
+		env.Wall{Seg: env.Segment{A: env.Vec2{X: -5, Y: 4}, B: env.Vec2{X: 25, Y: 4}}, Mat: env.Metal},
+	)
+	e.FrontHalfOnly = false
+	return &MultiScenario{
+		Env: e,
+		GNBs: []env.Pose{
+			{Pos: env.Vec2{X: 0, Y: 0}, Facing: 0},
+			{Pos: env.Vec2{X: 20, Y: 0}, Facing: math.Pi},
+		},
+		UE:       motion.Static{Pose: env.Pose{Pos: env.Vec2{X: 8, Y: 0.5}, Facing: 0}},
+		Duration: 0.05,
+		Num:      nr.Mu3(),
+		TxArray:  antenna.NewULA(8, 28e9),
+		MaxPaths: 3,
+	}
+}
+
+func TestChannelsAtPerGNB(t *testing.T) {
+	sc := multiScenario()
+	ms := sc.ChannelsAt(0)
+	if len(ms) != 2 {
+		t.Fatalf("channels %d", len(ms))
+	}
+	// Different gNB positions → different LOS delays.
+	d0 := ms[0].Paths[0].Delay
+	d1 := ms[1].Paths[0].Delay
+	if math.Abs(d0-d1) < 1e-12 {
+		t.Fatal("both gNBs produced identical delays")
+	}
+	// gNB 0 at 8 m, gNB 1 at 12 m.
+	if d0 >= d1 {
+		t.Fatalf("gNB0 delay %g should be shorter than gNB1 %g", d0, d1)
+	}
+}
+
+// TestMultiBlockageAddressing: event PathIndex g·MaxPaths+k must hit gNB
+// g's path k only.
+func TestMultiBlockageAddressing(t *testing.T) {
+	sc := multiScenario()
+	sc.Blockage = events.Schedule{
+		{PathIndex: 0, Start: 0, Duration: 1, DepthDB: 30, RampTime: 1e-4},                 // gNB 0, path 0
+		{PathIndex: sc.MaxPaths + 1, Start: 0, Duration: 1, DepthDB: 20, RampTime: 1e-4},   // gNB 1, path 1
+		{PathIndex: 2*sc.MaxPaths + 2, Start: 0, Duration: 1, DepthDB: 10, RampTime: 1e-4}, // out of range: nobody
+	}
+	ms := sc.ChannelsAt(0.01)
+	if ms[0].Paths[0].ExtraLossDB < 29 {
+		t.Fatalf("gNB0 path0 not blocked: %g", ms[0].Paths[0].ExtraLossDB)
+	}
+	for k := 1; k < len(ms[0].Paths); k++ {
+		if ms[0].Paths[k].ExtraLossDB != 0 {
+			t.Fatalf("gNB0 path%d wrongly blocked", k)
+		}
+	}
+	if len(ms[1].Paths) > 1 && ms[1].Paths[1].ExtraLossDB < 19 {
+		t.Fatalf("gNB1 path1 not blocked: %g", ms[1].Paths[1].ExtraLossDB)
+	}
+	if ms[1].Paths[0].ExtraLossDB != 0 {
+		t.Fatal("gNB1 path0 wrongly blocked")
+	}
+}
+
+// TestMultiAllPathsEventHitsEveryGNB: an AllPaths event is a body block —
+// it occludes every path of every cell.
+func TestMultiAllPathsEventHitsEveryGNB(t *testing.T) {
+	sc := multiScenario()
+	sc.Blockage = events.Schedule{{AllPaths: true, Start: 0, Duration: 1, DepthDB: 40, RampTime: 1e-4}}
+	ms := sc.ChannelsAt(0.01)
+	for g := range ms {
+		for k := range ms[g].Paths {
+			if ms[g].Paths[k].ExtraLossDB < 39 {
+				t.Fatalf("gNB%d path%d not body-blocked: %g", g, k, ms[g].Paths[k].ExtraLossDB)
+			}
+		}
+	}
+}
+
+// recorder captures the channels handed to a MultiScheme.
+type recorder struct {
+	calls int
+}
+
+func (r *recorder) Name() string { return "rec" }
+func (r *recorder) StepMulti(t float64, ms []*channel.Model) Slot {
+	r.calls++
+	if len(ms) != 2 {
+		panic("wrong gNB count")
+	}
+	return Slot{SNRdB: 20, ThroughputBps: 1e9}
+}
+
+func TestRunMultiDrivesScheme(t *testing.T) {
+	sc := multiScenario()
+	r := &recorder{}
+	out, err := (Runner{}).RunMulti(sc, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSlots := int(math.Ceil(0.05 / nr.Mu3().SlotDuration()))
+	if r.calls != wantSlots {
+		t.Fatalf("scheme stepped %d times, want %d", r.calls, wantSlots)
+	}
+	if out["rec"].Summary.Reliability != 1 {
+		t.Fatalf("reliability %g", out["rec"].Summary.Reliability)
+	}
+}

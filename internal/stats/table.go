@@ -1,0 +1,83 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table renders fixed-width ASCII tables for the benchmark harness. Rows are
+// printed in insertion order.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row of cells. Numeric cells should be pre-formatted by
+// the caller (use Fmt for a sensible default).
+func (t *Table) AddRow(cells ...string) {
+	t.rows = append(t.rows, cells)
+}
+
+// AddFloats appends a row formatted from float64 values with %.3g.
+func (t *Table) AddFloats(vals ...float64) {
+	cells := make([]string, len(vals))
+	for i, v := range vals {
+		cells[i] = Fmt(v)
+	}
+	t.AddRow(cells...)
+}
+
+// Fmt formats a float for table display.
+func Fmt(v float64) string { return fmt.Sprintf("%.4g", v) }
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "== %s ==\n", t.Title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(widths))
+		for i := range widths {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, strings.Join(parts, "  "))
+	}
+	line(t.Headers)
+	sep := make([]string, len(widths))
+	for i, wd := range widths {
+		sep[i] = strings.Repeat("-", wd)
+	}
+	line(sep)
+	for _, row := range t.rows {
+		line(row)
+	}
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var sb strings.Builder
+	t.Render(&sb)
+	return sb.String()
+}
