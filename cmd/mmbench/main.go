@@ -9,6 +9,11 @@
 //	mmbench -list              # list available figures
 //	mmbench -fig 18b -quick    # reduced Monte-Carlo volume
 //	mmbench -seed 7 -fig 18c   # different random seed
+//	mmbench -fig 18b -workers 8  # shard Monte-Carlo trials over 8 cores
+//
+// Tables are byte-identical for every -workers value (including the
+// default GOMAXPROCS): per-trial RNG streams are derived from
+// (seed, experiment, trial), never from scheduling order.
 package main
 
 import (
@@ -24,6 +29,7 @@ func main() {
 	fig := flag.String("fig", "all", "figure id (e.g. 14, 18b) or 'all'")
 	quick := flag.Bool("quick", false, "reduce Monte-Carlo volume")
 	seed := flag.Int64("seed", 1, "random seed")
+	workers := flag.Int("workers", 0, "worker goroutines for Monte-Carlo trials (0 = GOMAXPROCS); output is identical for any value")
 	list := flag.Bool("list", false, "list available figures")
 	flag.Parse()
 
@@ -33,7 +39,7 @@ func main() {
 		}
 		return
 	}
-	cfg := experiments.Config{Seed: *seed, Quick: *quick}
+	cfg := experiments.Config{Seed: *seed, Quick: *quick, Workers: *workers}
 	run := func(e experiments.Experiment) {
 		start := time.Now()
 		table := e.Run(cfg)

@@ -6,11 +6,16 @@
 //	mmsim -scenario outdoor -schemes mmreliable,reactive,widebeam
 //	mmsim -scenario indoor -duration 2 -seed 7 -trace
 //	mmsim -scenario rotating-ue -schemes mmreliable,reactive
+//	mmsim -scenario outdoor -schemes mmreliable,reactive,beamspy,widebeam -workers 4
 //
 // Scenarios: indoor (static conference room), indoor-mobile (translation +
 // blocker), outdoor (thin-margin street canyon with mobility + blockage),
 // walking-blocker (Fig. 16), small-spread (combining regime, mobile),
 // rotating-ue (directional UE at 24°/s).
+//
+// Each scheme replays its own deterministic instance of the scenario
+// (scenarios are pure functions of the seed), so -workers > 1 runs the
+// schemes concurrently with byte-identical output.
 package main
 
 import (
@@ -18,8 +23,10 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 
 	"mmreliable/internal/antenna"
 	"mmreliable/internal/baselines"
@@ -35,58 +42,103 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	duration := flag.Float64("duration", 1.0, "measured duration in seconds")
 	trace := flag.Bool("trace", false, "print a per-slot SNR trace (decimated)")
+	workers := flag.Int("workers", 0, "concurrent scheme replays (0 = GOMAXPROCS); output is identical for any value")
 	flag.Parse()
 
-	sc, budget, err := sim.Named(*scenario, *seed)
+	// Validate the scenario name (and fetch the budget) once up front.
+	_, budget, err := sim.Named(*scenario, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	sc.Duration = *duration
 
 	u := func() *antenna.ULA { return antenna.NewULA(8, 28e9) }
-	var list []sim.Scheme
+	names := []string{}
 	for _, name := range strings.Split(*schemes, ",") {
-		name = strings.TrimSpace(name)
-		var s sim.Scheme
-		var err error
+		names = append(names, strings.TrimSpace(name))
+	}
+	mkScheme := func(name string) (sim.Scheme, error) {
 		switch name {
 		case "mmreliable":
-			s, err = manager.New("mmreliable", u(), budget, nr.Mu3(), manager.DefaultConfig(), rand.New(rand.NewSource(*seed)))
+			return manager.New("mmreliable", u(), budget, nr.Mu3(), manager.DefaultConfig(), rand.New(rand.NewSource(*seed)))
 		case "reactive":
-			s, err = baselines.NewSingleBeamReactive(u(), budget, nr.Mu3(), baselines.DefaultOptions(), rand.New(rand.NewSource(*seed)))
+			return baselines.NewSingleBeamReactive(u(), budget, nr.Mu3(), baselines.DefaultOptions(), rand.New(rand.NewSource(*seed)))
 		case "beamspy":
-			s, err = baselines.NewBeamSpy(u(), budget, nr.Mu3(), baselines.DefaultOptions(), rand.New(rand.NewSource(*seed)))
+			return baselines.NewBeamSpy(u(), budget, nr.Mu3(), baselines.DefaultOptions(), rand.New(rand.NewSource(*seed)))
 		case "widebeam":
-			s, err = baselines.NewWideBeam(u(), budget, nr.Mu3(), baselines.DefaultOptions(), rand.New(rand.NewSource(*seed)))
+			return baselines.NewWideBeam(u(), budget, nr.Mu3(), baselines.DefaultOptions(), rand.New(rand.NewSource(*seed)))
 		case "oracle":
-			s = baselines.NewOracle(budget, 64)
+			return baselines.NewOracle(budget, 64), nil
 		default:
+			return nil, fmt.Errorf("unknown scheme %q", name)
+		}
+	}
+	// Validate scheme names up front so bad -schemes fail before any replay.
+	valid := map[string]bool{"mmreliable": true, "reactive": true, "beamspy": true, "widebeam": true, "oracle": true}
+	for _, name := range names {
+		if !valid[name] {
 			fmt.Fprintf(os.Stderr, "unknown scheme %q\n", name)
 			os.Exit(1)
 		}
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		list = append(list, s)
 	}
 
-	runner := sim.Runner{KeepSeries: *trace, Warmup: sim.StandardWarmup}
-	out, err := runner.Run(sc, list...)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	// Replay the scenario once per scheme, sharded across the worker pool.
+	// Every replay rebuilds the scenario from the seed, so each scheme sees
+	// identical channel realizations and the output does not depend on the
+	// worker count.
+	w := *workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > len(names) {
+		w = len(names)
+	}
+	results := make([]map[string]sim.Result, len(names))
+	errs := make([]error, len(names))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, w)
+	for i, name := range names {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			sc, _, err := sim.Named(*scenario, *seed)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			sc.Duration = *duration
+			s, err := mkScheme(name)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			runner := sim.Runner{KeepSeries: *trace, Warmup: sim.StandardWarmup}
+			results[i], errs[i] = runner.Run(sc, s)
+		}(i, name)
+	}
+	wg.Wait()
+
+	out := map[string]sim.Result{}
+	for i := range names {
+		if errs[i] != nil {
+			fmt.Fprintln(os.Stderr, errs[i])
+			os.Exit(1)
+		}
+		for n, r := range results[i] {
+			out[n] = r
+		}
 	}
 
 	table := stats.NewTable(fmt.Sprintf("scenario %s (seed %d, %.1f s)", *scenario, *seed, *duration),
 		"scheme", "reliability", "thr_Mbps", "snr_dB", "trp_Mbps", "outages")
-	names := make([]string, 0, len(out))
+	sorted := make([]string, 0, len(out))
 	for n := range out {
-		names = append(names, n)
+		sorted = append(sorted, n)
 	}
-	sort.Strings(names)
-	for _, n := range names {
+	sort.Strings(sorted)
+	for _, n := range sorted {
 		s := out[n].Summary
 		table.AddRow(n, stats.Fmt(s.Reliability), stats.Fmt(s.MeanThroughput/1e6),
 			stats.Fmt(s.MeanSNRdB), stats.Fmt(s.TRProduct/1e6), fmt.Sprintf("%d", s.OutageEvents))
@@ -94,7 +146,7 @@ func main() {
 	table.Render(os.Stdout)
 
 	if *trace {
-		for _, n := range names {
+		for _, n := range sorted {
 			res := out[n]
 			fmt.Printf("\n-- %s slot trace (every 40th slot) --\n", n)
 			for i := range res.Series {

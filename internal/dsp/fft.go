@@ -7,9 +7,7 @@ package dsp
 
 import (
 	"fmt"
-	"math"
 	"math/bits"
-	"math/cmplx"
 )
 
 // IsPow2 reports whether n is a positive power of two.
@@ -54,31 +52,32 @@ func fftDir(x []complex128, inverse bool) error {
 	if n == 1 {
 		return nil
 	}
-	// Bit-reversal permutation.
-	shift := 64 - uint(bits.Len(uint(n-1)))
-	for i := 0; i < n; i++ {
-		j := int(bits.Reverse64(uint64(i)) >> shift)
-		if j > i {
+	p := planFor(n)
+	// Bit-reversal permutation from the plan's precomputed table.
+	for i, j := range p.bitrev {
+		if int(j) > i {
 			x[i], x[j] = x[j], x[i]
 		}
 	}
-	// Iterative Cooley-Tukey butterflies.
-	sign := -1.0
-	if inverse {
-		sign = 1.0
-	}
+	// Iterative Cooley-Tukey butterflies. Twiddles come from the plan's
+	// table (stage `size` reads every (n/size)-th entry) instead of the
+	// old multiplicative recurrence w *= wBase, which accumulated O(N·ε)
+	// phase error across a stage. The inverse transform conjugates the
+	// table entry, which is exact.
+	tw := p.twiddle
 	for size := 2; size <= n; size <<= 1 {
 		half := size >> 1
-		step := sign * 2 * math.Pi / float64(size)
-		wBase := cmplx.Exp(complex(0, step))
+		stride := n / size
 		for start := 0; start < n; start += size {
-			w := complex(1, 0)
-			for k := 0; k < half; k++ {
+			for k, ti := 0, 0; k < half; k, ti = k+1, ti+stride {
+				w := tw[ti]
+				if inverse {
+					w = complex(real(w), -imag(w))
+				}
 				a := x[start+k]
 				b := x[start+k+half] * w
 				x[start+k] = a + b
 				x[start+k+half] = a - b
-				w *= wBase
 			}
 		}
 	}

@@ -1,0 +1,56 @@
+package dsp
+
+import (
+	"math"
+	"math/bits"
+	"sync"
+)
+
+// fftPlan holds the precomputed, read-only tables for one FFT size: the
+// bit-reversal permutation and the forward twiddle factors
+//
+//	twiddle[k] = e^{−j2πk/N},  k = 0..N/2−1.
+//
+// Every butterfly reads its twiddle straight from this table (stage `size`
+// uses stride N/size), so each factor carries only the ~1 ulp error of one
+// math.Sincos call. The multiplicative recurrence this replaces
+// (w *= wBase) compounded rounding every iteration and accumulated O(N·ε)
+// phase drift in the last butterflies of large transforms.
+type fftPlan struct {
+	n       int
+	bitrev  []int32
+	twiddle []complex128
+}
+
+// planCache memoizes plans by FFT size. Plans are immutable after
+// construction, so concurrent FFTs on different goroutines share them
+// freely — this is what makes the DSP hot path safe and allocation-free
+// under the parallel experiment runner.
+var planCache sync.Map // int → *fftPlan
+
+// planFor returns the (possibly shared) plan for size n. n must be a
+// power of two ≥ 2.
+func planFor(n int) *fftPlan {
+	if v, ok := planCache.Load(n); ok {
+		return v.(*fftPlan)
+	}
+	v, _ := planCache.LoadOrStore(n, newPlan(n))
+	return v.(*fftPlan)
+}
+
+func newPlan(n int) *fftPlan {
+	p := &fftPlan{
+		n:       n,
+		bitrev:  make([]int32, n),
+		twiddle: make([]complex128, n/2),
+	}
+	shift := 64 - uint(bits.Len(uint(n-1)))
+	for i := range p.bitrev {
+		p.bitrev[i] = int32(bits.Reverse64(uint64(i)) >> shift)
+	}
+	for k := range p.twiddle {
+		s, c := math.Sincos(-2 * math.Pi * float64(k) / float64(n))
+		p.twiddle[k] = complex(c, s)
+	}
+	return p
+}

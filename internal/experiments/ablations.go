@@ -17,7 +17,19 @@ import (
 )
 
 // Ablation experiments beyond the paper's figures, exercising the design
-// choices DESIGN.md calls out. IDs are prefixed "a".
+// choices DESIGN.md calls out. IDs are prefixed "a". Every Monte-Carlo loop
+// here runs on the deterministic parallel trial runner; trials that need
+// more than one stream (a scheme RNG plus a scenario seed, say) split their
+// per-trial generator with subSeed, so no two trials — and no two schemes
+// inside a trial — share a stream.
+
+// subSeed draws a deterministic child seed from a trial's private
+// generator. The draw order inside a trial is fixed, so results stay
+// byte-identical at any worker count.
+func subSeed(rng *rand.Rand) int64 { return rng.Int63() }
+
+// subRNG returns a fresh generator seeded from the trial's stream.
+func subRNG(rng *rand.Rand) *rand.Rand { return rand.New(rand.NewSource(subSeed(rng))) }
 
 // AblationQuantization sweeps phase-shifter resolution: how much multi-beam
 // SNR does cheap hardware cost? (The paper argues 2-bit + on/off is the
@@ -26,7 +38,6 @@ func AblationQuantization(cfg Config) *stats.Table {
 	u := antenna.NewULA(8, 28e9)
 	budget := link.DefaultBudget()
 	offs := channel.SubcarrierOffsets(budget.BandwidthHz, 32)
-	rng := cfg.rng(901)
 	params := channel.ClusterParams{
 		MinPaths: 2, MaxPaths: 3,
 		LOSLossDB:    env.Band28GHz().PathLossDB(7),
@@ -46,8 +57,7 @@ func AblationQuantization(cfg Config) *stats.Table {
 	t := stats.NewTable("Ablation A1 — multi-beam SNR loss vs weight quantization",
 		"quantizer", "mean_snr_dB", "loss_vs_ideal_dB")
 	runs := cfg.runs(150)
-	sums := make([]float64, len(quants))
-	for i := 0; i < runs; i++ {
+	perTrial := ParallelTrials(cfg, labelAblationA1, runs, func(_ int, rng *rand.Rand) []float64 {
 		m := channel.Cluster(rng, env.Band28GHz(), u, params)
 		var beams []multibeam.Beam
 		for k := range m.Paths {
@@ -56,14 +66,22 @@ func AblationQuantization(cfg Config) *stats.Table {
 		}
 		w, err := multibeam.Weights(u, beams)
 		if err != nil {
-			continue
+			return nil
 		}
+		snrs := make([]float64, len(quants))
 		for qi, q := range quants {
 			wq := w
 			if q.q.PhaseBits > 0 || q.q.GainRangeDB > 0 {
 				wq = q.q.Apply(w)
 			}
-			sums[qi] += budget.WidebandSNRdB(m.EffectiveWideband(wq, offs))
+			snrs[qi] = budget.WidebandSNRdB(m.EffectiveWideband(wq, offs))
+		}
+		return snrs
+	})
+	sums := make([]float64, len(quants))
+	for _, snrs := range perTrial {
+		for qi, v := range snrs {
+			sums[qi] += v
 		}
 	}
 	for qi, q := range quants {
@@ -79,26 +97,33 @@ func AblationMaintenancePeriod(cfg Config) *stats.Table {
 	t := stats.NewTable("Ablation A2 — maintenance cadence vs reliability (outdoor mobile+blockage)",
 		"period_ms", "mean_rel", "mean_thr_Mbps", "retrains_per_s")
 	budget := sim.OutdoorBudget()
-	runner := sim.Runner{Warmup: sim.StandardWarmup}
 	runs := cfg.runs(10)
+	type outcome struct{ rel, thr, retr float64 }
 	for _, periodMs := range []float64{5, 10, 20, 40, 80} {
-		var rel, thr, retr float64
-		for i := 0; i < runs; i++ {
-			seed := cfg.Seed*10 + int64(i)
+		periodMs := periodMs
+		// The trial stream depends only on the trial index (the label is
+		// shared across cadences), so every cadence replays the same
+		// scenario draws — the controlled sweep the ablation needs.
+		res := ParallelTrials(cfg, labelAblationA2, runs, func(_ int, rng *rand.Rand) outcome {
+			scenSeed := subSeed(rng)
 			mcfg := manager.DefaultConfig()
 			mcfg.MaintainPeriod = periodMs * 1e-3
-			mgr, err := manager.New("m", antenna.NewULA(8, 28e9), budget, nr.Mu3(), mcfg, rand.New(rand.NewSource(seed)))
+			mgr, err := manager.New("m", antenna.NewULA(8, 28e9), budget, nr.Mu3(), mcfg, subRNG(rng))
 			if err != nil {
 				panic(err)
 			}
-			out, err := runner.Run(sim.ThinMarginOutdoor(seed), mgr)
+			out, err := sim.Runner{Warmup: sim.StandardWarmup}.Run(sim.ThinMarginOutdoor(scenSeed), mgr)
 			if err != nil {
 				panic(err)
 			}
 			s := out["m"].Summary
-			rel += s.Reliability
-			thr += s.MeanThroughput
-			retr += float64(mgr.Retrains - 1)
+			return outcome{rel: s.Reliability, thr: s.MeanThroughput, retr: float64(mgr.Retrains - 1)}
+		})
+		var rel, thr, retr float64
+		for _, o := range res {
+			rel += o.rel
+			thr += o.thr
+			retr += o.retr
 		}
 		n := float64(runs)
 		t.AddRow(stats.Fmt(periodMs), stats.Fmt(rel/n), stats.Fmt(thr/n/1e6), stats.Fmt(retr/n))
@@ -113,24 +138,27 @@ func AblationCorrelatedBlockage(cfg Config) *stats.Table {
 	t := stats.NewTable("Ablation A3 — independent vs correlated (all-path) blockage",
 		"all_path_prob", "mmreliable_rel", "reactive_rel")
 	budget := sim.OutdoorBudget()
-	runner := sim.Runner{Warmup: sim.StandardWarmup}
 	runs := cfg.runs(10)
+	type outcome struct{ mm, re float64 }
 	for _, prob := range []float64{0, 0.5, 1.0} {
-		var mmRel, reRel float64
-		for i := 0; i < runs; i++ {
-			seed := cfg.Seed*100 + int64(i)
+		prob := prob
+		res := ParallelTrials(cfg, labelAblationA3, runs, func(_ int, rng *rand.Rand) outcome {
+			scenSeed := subSeed(rng)
+			genSeed := subSeed(rng)
+			mgrRng := subRNG(rng)
+			rcRng := subRNG(rng)
 			mkScenario := func() *sim.Scenario {
-				sc := sim.ThinMarginOutdoor(seed)
-				rng := rand.New(rand.NewSource(seed + 77))
+				sc := sim.ThinMarginOutdoor(scenSeed)
 				gen := events.GenParams{
 					Horizon: 1.0, Rate: 1.5,
 					MinDuration: 0.1, MaxDuration: 0.5,
 					MinDepthDB: 20, MaxDepthDB: 30,
 					NumPaths: 1, AllPathProb: prob,
 				}
+				genRng := rand.New(rand.NewSource(genSeed))
 				var sched events.Schedule
 				for len(sched) == 0 {
-					sched = events.Generate(rng, gen)
+					sched = events.Generate(genRng, gen)
 				}
 				for j := range sched {
 					sched[j].Start += sim.StandardWarmup
@@ -138,14 +166,16 @@ func AblationCorrelatedBlockage(cfg Config) *stats.Table {
 				sc.Blockage = sched
 				return sc
 			}
-			mgr, err := manager.New("m", antenna.NewULA(8, 28e9), budget, nr.Mu3(), manager.DefaultConfig(), rand.New(rand.NewSource(seed)))
+			mgr, err := manager.New("m", antenna.NewULA(8, 28e9), budget, nr.Mu3(), manager.DefaultConfig(), mgrRng)
 			if err != nil {
 				panic(err)
 			}
-			rc, err := newReactive(budget, seed)
+			rc, err := baselines.NewSingleBeamReactive(antenna.NewULA(8, 28e9), budget, nr.Mu3(),
+				baselines.DefaultOptions(), rcRng)
 			if err != nil {
 				panic(err)
 			}
+			runner := sim.Runner{Warmup: sim.StandardWarmup}
 			outM, err := runner.Run(mkScenario(), mgr)
 			if err != nil {
 				panic(err)
@@ -154,8 +184,12 @@ func AblationCorrelatedBlockage(cfg Config) *stats.Table {
 			if err != nil {
 				panic(err)
 			}
-			mmRel += outM["m"].Summary.Reliability
-			reRel += outR["reactive"].Summary.Reliability
+			return outcome{mm: outM["m"].Summary.Reliability, re: outR["reactive"].Summary.Reliability}
+		})
+		var mmRel, reRel float64
+		for _, o := range res {
+			mmRel += o.mm
+			reRel += o.re
 		}
 		n := float64(runs)
 		t.AddRow(stats.Fmt(prob), stats.Fmt(mmRel/n), stats.Fmt(reRel/n))
@@ -170,20 +204,25 @@ func AblationCCRefresh(cfg Config) *stats.Table {
 		"refresh_ms", "mean_snr_dB", "mean_thr_Mbps")
 	budget := sim.IndoorBudget()
 	budget.TxPowerDBm -= 10
-	runner := sim.Runner{Warmup: sim.StandardWarmup}
-	for _, refreshMs := range []float64{0.5, 1, 2, 5, 20} {
+	cadences := []float64{0.5, 1, 2, 5, 20}
+	// One independent trial per cadence; every arm reuses the stream
+	// cfg.rng(904) and scenario seed the serial version used, so the sweep
+	// stays controlled and the table byte-identical.
+	rows := ParallelTrials(cfg, labelAblationA4, len(cadences), func(trial int, _ *rand.Rand) link.Summary {
 		mcfg := manager.DefaultConfig()
-		mcfg.CCRefreshPeriod = refreshMs * 1e-3
+		mcfg.CCRefreshPeriod = cadences[trial] * 1e-3
 		mgr, err := manager.New("m", antenna.NewULA(8, 28e9), budget, nr.Mu3(), mcfg, cfg.rng(904))
 		if err != nil {
 			panic(err)
 		}
-		out, err := runner.Run(sim.SmallSpreadMobile(cfg.Seed), mgr)
+		out, err := sim.Runner{Warmup: sim.StandardWarmup}.Run(sim.SmallSpreadMobile(cfg.Seed), mgr)
 		if err != nil {
 			panic(err)
 		}
-		s := out["m"].Summary
-		t.AddRow(stats.Fmt(refreshMs), stats.Fmt(s.MeanSNRdB), stats.Fmt(s.MeanThroughput/1e6))
+		return out["m"].Summary
+	})
+	for i, s := range rows {
+		t.AddRow(stats.Fmt(cadences[i]), stats.Fmt(s.MeanSNRdB), stats.Fmt(s.MeanThroughput/1e6))
 	}
 	return t
 }
@@ -195,8 +234,13 @@ func AblationTrainingMethod(cfg Config) *stats.Table {
 	t := stats.NewTable("Ablation A5 — exhaustive vs hierarchical beam training",
 		"method", "training_slots", "mean_snr_dB", "beams", "reliability")
 	budget := sim.IndoorBudget()
-	runner := sim.Runner{Warmup: 0.05}
-	for _, hier := range []bool{false, true} {
+	type outcome struct {
+		slots, beams int
+		summary      link.Summary
+	}
+	methods := []bool{false, true} // exhaustive, hierarchical
+	rows := ParallelTrials(cfg, labelAblationA5, len(methods), func(trial int, _ *rand.Rand) outcome {
+		hier := methods[trial]
 		name := "exhaustive"
 		if hier {
 			name = "hierarchical"
@@ -209,18 +253,19 @@ func AblationTrainingMethod(cfg Config) *stats.Table {
 		}
 		sc := sim.StaticIndoor(cfg.Seed)
 		sc.Duration = 0.4
-		out, err := runner.Run(sc, mgr)
+		out, err := sim.Runner{Warmup: 0.05}.Run(sc, mgr)
 		if err != nil {
 			panic(err)
 		}
-		s := out[name].Summary
-		t.AddRow(name, stats.Fmt(float64(mgr.TrainingSlots)), stats.Fmt(s.MeanSNRdB),
-			stats.Fmt(float64(mgr.NumBeams())), stats.Fmt(s.Reliability))
+		return outcome{slots: mgr.TrainingSlots, beams: mgr.NumBeams(), summary: out[name].Summary}
+	})
+	for i, o := range rows {
+		name := "exhaustive"
+		if methods[i] {
+			name = "hierarchical"
+		}
+		t.AddRow(name, stats.Fmt(float64(o.slots)), stats.Fmt(o.summary.MeanSNRdB),
+			stats.Fmt(float64(o.beams)), stats.Fmt(o.summary.Reliability))
 	}
 	return t
-}
-
-func newReactive(budget link.Budget, seed int64) (sim.Scheme, error) {
-	return baselines.NewSingleBeamReactive(antenna.NewULA(8, 28e9), budget, nr.Mu3(),
-		baselines.DefaultOptions(), rand.New(rand.NewSource(seed)))
 }

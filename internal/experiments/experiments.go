@@ -19,6 +19,12 @@ type Config struct {
 	Seed int64
 	// Quick reduces Monte-Carlo volume for use inside the test suite.
 	Quick bool
+	// Workers is the number of goroutines the parallel trial runner
+	// (ParallelTrials) shards Monte-Carlo trials across. 0 means
+	// GOMAXPROCS. Tables are byte-identical for every value: trial RNG
+	// streams are derived from (Seed, experiment, trial), never from
+	// scheduling order.
+	Workers int
 }
 
 // DefaultConfig returns the full-scale deterministic configuration.

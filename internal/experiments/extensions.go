@@ -26,10 +26,18 @@ import (
 // gain.
 func ExtensionIRS(cfg Config) *stats.Table {
 	budget := sim.OutdoorBudget()
-	runner := sim.Runner{Warmup: sim.StandardWarmup}
 	t := stats.NewTable("Extension E1 — IRS gain vs link reliability under LOS blockage",
 		"irs_gain_dB", "reliability", "mean_thr_Mbps", "beams")
-	for _, gain := range []float64{0, 70, 75, 80} {
+	gains := []float64{0, 70, 75, 80}
+	type outcome struct {
+		summary link.Summary
+		beams   int
+	}
+	// One independent trial per IRS gain. Each arm rebuilds the fading and
+	// manager streams from the same cfg labels the serial loop used, so the
+	// sweep is controlled and byte-identical at any worker count.
+	rows := ParallelTrials(cfg, labelExtIRS, len(gains), func(trial int, _ *rand.Rand) outcome {
+		gain := gains[trial]
 		// A 40 m link with no natural reflector at all. The IRS sits
 		// halfway, 2 m off the line (sub-ns excess delay, so its lobe
 		// combines constructively across the band).
@@ -53,13 +61,16 @@ func ExtensionIRS(cfg Config) *stats.Table {
 		if err != nil {
 			panic(err)
 		}
-		out, err := runner.Run(sc, mgr)
+		out, err := sim.Runner{Warmup: sim.StandardWarmup}.Run(sc, mgr)
 		if err != nil {
 			panic(err)
 		}
-		s := out["m"].Summary
-		t.AddRow(stats.Fmt(gain), stats.Fmt(s.Reliability), stats.Fmt(s.MeanThroughput/1e6),
-			stats.Fmt(float64(mgr.NumBeams())))
+		return outcome{summary: out["m"].Summary, beams: mgr.NumBeams()}
+	})
+	for i, o := range rows {
+		s := o.summary
+		t.AddRow(stats.Fmt(gains[i]), stats.Fmt(s.Reliability), stats.Fmt(s.MeanThroughput/1e6),
+			stats.Fmt(float64(o.beams)))
 	}
 	return t
 }
@@ -204,31 +215,44 @@ func ExtensionHandover(cfg Config) *stats.Table {
 		return sc
 	}
 	budget := sim.IndoorBudget()
-	runner := sim.Runner{}
-	ctrl, err := handover.New("handover", 2, antenna.NewULA(8, 28e9), budget, nr.Mu3(),
-		handover.DefaultConfig(), rand.New(rand.NewSource(cfg.Seed+961)))
-	if err != nil {
-		panic(err)
+	type outcome struct {
+		summary   link.Summary
+		handovers int
 	}
-	mgr, err := manager.New("pinned", antenna.NewULA(8, 28e9), budget, nr.Mu3(),
-		manager.DefaultConfig(), rand.New(rand.NewSource(cfg.Seed+961)))
-	if err != nil {
-		panic(err)
-	}
-	outH, err := runner.RunMulti(mk(), ctrl)
-	if err != nil {
-		panic(err)
-	}
-	outP, err := runner.RunMulti(mk(), sim.Pinned{Scheme: mgr, GNB: 0})
-	if err != nil {
-		panic(err)
-	}
+	// Both schemes previously seeded from the SAME ad-hoc source
+	// (cfg.Seed+961), i.e. a shared RNG stream; the runner now hands each
+	// trial its own derived stream. The two replays shard across workers.
+	rows := ParallelTrials(cfg, labelExtHandover, 2, func(trial int, rng *rand.Rand) outcome {
+		runner := sim.Runner{}
+		if trial == 0 {
+			ctrl, err := handover.New("handover", 2, antenna.NewULA(8, 28e9), budget, nr.Mu3(),
+				handover.DefaultConfig(), rng)
+			if err != nil {
+				panic(err)
+			}
+			out, err := runner.RunMulti(mk(), ctrl)
+			if err != nil {
+				panic(err)
+			}
+			return outcome{summary: out["handover"].Summary, handovers: ctrl.Handovers}
+		}
+		mgr, err := manager.New("pinned", antenna.NewULA(8, 28e9), budget, nr.Mu3(),
+			manager.DefaultConfig(), rng)
+		if err != nil {
+			panic(err)
+		}
+		out, err := runner.RunMulti(mk(), sim.Pinned{Scheme: mgr, GNB: 0})
+		if err != nil {
+			panic(err)
+		}
+		return outcome{summary: out["pinned"].Summary}
+	})
 	t := stats.NewTable("Extension E2 — handover vs pinned cell under 400 ms serving-cell blackout",
 		"scheme", "reliability", "mean_thr_Mbps", "handovers")
-	h := outH["handover"].Summary
-	p := outP["pinned"].Summary
+	h := rows[0].summary
+	p := rows[1].summary
 	t.AddRow("handover", stats.Fmt(h.Reliability), stats.Fmt(h.MeanThroughput/1e6),
-		stats.Fmt(float64(ctrl.Handovers)))
+		stats.Fmt(float64(rows[0].handovers)))
 	t.AddRow("pinned", stats.Fmt(p.Reliability), stats.Fmt(p.MeanThroughput/1e6), "0")
 	return t
 }

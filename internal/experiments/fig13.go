@@ -27,21 +27,24 @@ func Fig13dPattern(cfg Config) *stats.Table {
 
 	t := stats.NewTable("Fig 13d — multi-beam pattern: theory vs quantized hardware (gain dB)",
 		"angle_deg", "ideal", "6bit", "2bit")
-	for _, deg := range stats.Linspace(-60, 60, 25) {
-		th := dsp.Rad(deg)
-		t.AddRow(stats.Fmt(deg),
-			stats.Fmt(u.GainDB(ideal, th)),
-			stats.Fmt(u.GainDB(quant, th)),
-			stats.Fmt(u.GainDB(coarse, th)))
+	// The dense sweeps run off the read-only steering-vector grid cache:
+	// the steering vectors are computed once per (geometry, span) and
+	// shared by every weight vector (and every concurrent trial).
+	wide := u.SteeringGrid(dsp.Rad(-60), dsp.Rad(60), 25)
+	for i := 0; i < wide.Len(); i++ {
+		t.AddRow(stats.Fmt(dsp.Deg(wide.Thetas[i])),
+			stats.Fmt(wide.GainDB(i, ideal)),
+			stats.Fmt(wide.GainDB(i, quant)),
+			stats.Fmt(wide.GainDB(i, coarse)))
 	}
 	// Pattern agreement metric: worst-case deviation over the main lobes.
 	var worst6, worst2 float64
-	for _, deg := range stats.Linspace(-15, 30, 46) {
-		th := dsp.Rad(deg)
-		if d := abs(u.GainDB(ideal, th) - u.GainDB(quant, th)); d > worst6 {
+	lobes := u.SteeringGrid(dsp.Rad(-15), dsp.Rad(30), 46)
+	for i := 0; i < lobes.Len(); i++ {
+		if d := abs(lobes.GainDB(i, ideal) - lobes.GainDB(i, quant)); d > worst6 {
 			worst6 = d
 		}
-		if d := abs(u.GainDB(ideal, th) - u.GainDB(coarse, th)); d > worst2 {
+		if d := abs(lobes.GainDB(i, ideal) - lobes.GainDB(i, coarse)); d > worst2 {
 			worst2 = d
 		}
 	}

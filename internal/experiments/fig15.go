@@ -3,6 +3,7 @@ package experiments
 import (
 	"math"
 	"math/cmplx"
+	"math/rand"
 
 	"mmreliable/internal/antenna"
 	"mmreliable/internal/channel"
@@ -159,7 +160,6 @@ func combined(u *antenna.ULA, phiRef, phiK, psi float64) (cmx.Vector, float64) {
 func Fig15dOracleGap(cfg Config) *stats.Table {
 	u := antenna.NewULA(8, 28e9)
 	budget := link.DefaultBudget()
-	rng := cfg.rng(154)
 	// 4-path channels: the multi-beam uses only the strongest 2–3 paths
 	// while the per-antenna-CSI oracle exploits everything, which is what
 	// opens the paper's ≈92% gap between 3-beam and oracle.
@@ -172,9 +172,11 @@ func Fig15dOracleGap(cfg Config) *stats.Table {
 		MinSepDeg:        18, // resolvable by the 8-element array
 	}
 	offs := channel.SubcarrierOffsets(budget.BandwidthHz, 32)
-	var g2, g3, gSplit, gOracle []float64
-	runs := cfg.runs(200)
-	for i := 0; i < runs; i++ {
+	type trial struct {
+		g2, g3, gSplit, gOracle float64
+		ok2, ok3, okS, okO      bool
+	}
+	trials := ParallelTrials(cfg, labelFig15d, cfg.runs(200), func(_ int, rng *rand.Rand) trial {
 		m := channel.Cluster(rng, env.Band28GHz(), u, params)
 		// Order paths strongest first, as beam training would find them.
 		sortPathsByLoss(m)
@@ -187,17 +189,34 @@ func Fig15dOracleGap(cfg Config) *stats.Table {
 			}
 			return beams
 		}
+		var tr trial
 		if w, err := multibeam.Weights(u, mk(2)); err == nil {
-			g2 = append(g2, budget.WidebandSNRdB(m.EffectiveWideband(w, offs))-single)
+			tr.g2, tr.ok2 = budget.WidebandSNRdB(m.EffectiveWideband(w, offs))-single, true
 		}
 		if w, err := multibeam.Weights(u, mk(3)); err == nil {
-			g3 = append(g3, budget.WidebandSNRdB(m.EffectiveWideband(w, offs))-single)
+			tr.g3, tr.ok3 = budget.WidebandSNRdB(m.EffectiveWideband(w, offs))-single, true
 		}
 		if w, err := multibeam.SubArraySplit(u, mk(3)); err == nil {
-			gSplit = append(gSplit, budget.WidebandSNRdB(m.EffectiveWideband(w, offs))-single)
+			tr.gSplit, tr.okS = budget.WidebandSNRdB(m.EffectiveWideband(w, offs))-single, true
 		}
 		if w, err := multibeam.Optimal(m.PerAntennaCSI(0)); err == nil {
-			gOracle = append(gOracle, budget.WidebandSNRdB(m.EffectiveWideband(w, offs))-single)
+			tr.gOracle, tr.okO = budget.WidebandSNRdB(m.EffectiveWideband(w, offs))-single, true
+		}
+		return tr
+	})
+	var g2, g3, gSplit, gOracle []float64
+	for _, tr := range trials {
+		if tr.ok2 {
+			g2 = append(g2, tr.g2)
+		}
+		if tr.ok3 {
+			g3 = append(g3, tr.g3)
+		}
+		if tr.okS {
+			gSplit = append(gSplit, tr.gSplit)
+		}
+		if tr.okO {
+			gOracle = append(gOracle, tr.gOracle)
 		}
 	}
 	t := stats.NewTable("Fig 15d — SNR gain over single beam (dB)",

@@ -19,25 +19,30 @@ import (
 // the 6 dB outage threshold.
 func Fig16Blockage(cfg Config) *stats.Table {
 	budget := sim.IndoorBudget()
-	mgr, err := manager.New("mmreliable", antenna.NewULA(8, 28e9), budget, nr.Mu3(), manager.DefaultConfig(), cfg.rng(161))
-	if err != nil {
-		panic(err)
-	}
-	rc, err := baselines.NewSingleBeamReactive(antenna.NewULA(8, 28e9), budget, nr.Mu3(), baselines.DefaultOptions(), rand.New(rand.NewSource(cfg.Seed+161)))
-	if err != nil {
-		panic(err)
-	}
-	runner := sim.Runner{KeepSeries: true, Warmup: sim.StandardWarmup}
-	outM, err := runner.Run(sim.WalkingBlockerIndoor(cfg.Seed), mgr)
-	if err != nil {
-		panic(err)
-	}
-	outR, err := runner.Run(sim.WalkingBlockerIndoor(cfg.Seed), rc)
-	if err != nil {
-		panic(err)
-	}
-	mm := outM["mmreliable"]
-	re := outR["reactive"]
+	// The two scheme runs are independent replays of the same scenario, so
+	// they shard across the trial runner; each builds its scheme from its
+	// own derived RNG stream (previously the reactive baseline seeded
+	// ad hoc from cfg.Seed+161, which could collide with other streams).
+	outs := ParallelTrials(cfg, labelFig16, 2, func(trial int, rng *rand.Rand) map[string]sim.Result {
+		var scheme sim.Scheme
+		var err error
+		if trial == 0 {
+			scheme, err = manager.New("mmreliable", antenna.NewULA(8, 28e9), budget, nr.Mu3(), manager.DefaultConfig(), rng)
+		} else {
+			scheme, err = baselines.NewSingleBeamReactive(antenna.NewULA(8, 28e9), budget, nr.Mu3(), baselines.DefaultOptions(), rng)
+		}
+		if err != nil {
+			panic(err)
+		}
+		runner := sim.Runner{KeepSeries: true, Warmup: sim.StandardWarmup}
+		out, err := runner.Run(sim.WalkingBlockerIndoor(cfg.Seed), scheme)
+		if err != nil {
+			panic(err)
+		}
+		return out
+	})
+	mm := outs[0]["mmreliable"]
+	re := outs[1]["reactive"]
 
 	t := stats.NewTable("Fig 16 — SNR under a walking blocker (dB)",
 		"t_s", "multibeam", "singlebeam")

@@ -14,28 +14,34 @@ import (
 	"mmreliable/internal/stats"
 )
 
-// fig18Schemes builds one instance of every compared scheme.
-func fig18Schemes(seed int64, budget link.Budget, withTracking bool) (*manager.Manager, *baselines.SingleBeamReactive, *baselines.BeamSpy, *baselines.WideBeam) {
-	u := func() *antenna.ULA { return antenna.NewULA(8, 28e9) }
-	mcfg := manager.DefaultConfig()
-	mcfg.ProactiveTracking = withTracking
-	mgr, err := manager.New("mmreliable", u(), budget, nr.Mu3(), mcfg, rand.New(rand.NewSource(seed)))
+// fig18SchemeNames lists the compared schemes in table order.
+var fig18SchemeNames = []string{"mmreliable", "beamspy", "reactive", "widebeam"}
+
+// fig18Scheme builds one named scheme from its own RNG stream. Every
+// scheme gets a private generator (derived per trial by the runner), so no
+// two schemes — and no two concurrent trials — ever share a *rand.Rand.
+func fig18Scheme(name string, budget link.Budget, withTracking bool, rng *rand.Rand) sim.Scheme {
+	u := antenna.NewULA(8, 28e9)
+	var s sim.Scheme
+	var err error
+	switch name {
+	case "mmreliable":
+		mcfg := manager.DefaultConfig()
+		mcfg.ProactiveTracking = withTracking
+		s, err = manager.New(name, u, budget, nr.Mu3(), mcfg, rng)
+	case "reactive":
+		s, err = baselines.NewSingleBeamReactive(u, budget, nr.Mu3(), baselines.DefaultOptions(), rng)
+	case "beamspy":
+		s, err = baselines.NewBeamSpy(u, budget, nr.Mu3(), baselines.DefaultOptions(), rng)
+	case "widebeam":
+		s, err = baselines.NewWideBeam(u, budget, nr.Mu3(), baselines.DefaultOptions(), rng)
+	default:
+		panic("experiments: unknown fig18 scheme " + name)
+	}
 	if err != nil {
 		panic(err)
 	}
-	rc, err := baselines.NewSingleBeamReactive(u(), budget, nr.Mu3(), baselines.DefaultOptions(), rand.New(rand.NewSource(seed+1)))
-	if err != nil {
-		panic(err)
-	}
-	bs, err := baselines.NewBeamSpy(u(), budget, nr.Mu3(), baselines.DefaultOptions(), rand.New(rand.NewSource(seed+2)))
-	if err != nil {
-		panic(err)
-	}
-	wb, err := baselines.NewWideBeam(u(), budget, nr.Mu3(), baselines.DefaultOptions(), rand.New(rand.NewSource(seed+3)))
-	if err != nil {
-		panic(err)
-	}
-	return mgr, rc, bs, wb
+	return s
 }
 
 // Fig18aStaticBlockage reproduces Fig. 18a: throughput of a static indoor
@@ -47,9 +53,14 @@ func Fig18aStaticBlockage(cfg Config) *stats.Table {
 	budget := sim.IndoorBudget()
 	t := stats.NewTable("Fig 18a — static link with blockers: mean throughput (Mbps)",
 		"blockers", "mmreliable", "beamspy", "reactive")
-	runner := sim.Runner{Warmup: sim.StandardWarmup}
-	for _, blockers := range []int{0, 1, 2} {
-		mkScenario := func() *sim.Scenario {
+	schemes := []string{"mmreliable", "beamspy", "reactive"}
+	blockerCounts := []int{0, 1, 2}
+	// One trial per (blocker count, scheme) cell; all 9 cells are
+	// independent replays, sharded across the worker pool.
+	cells := ParallelTrials(cfg, labelFig18a, len(blockerCounts)*len(schemes),
+		func(trial int, rng *rand.Rand) float64 {
+			blockers := blockerCounts[trial/len(schemes)]
+			name := schemes[trial%len(schemes)]
 			sc := sim.StaticIndoor(cfg.Seed)
 			var sched events.Schedule
 			for b := 0; b < blockers; b++ {
@@ -61,25 +72,16 @@ func Fig18aStaticBlockage(cfg Config) *stats.Table {
 				})
 			}
 			sc.Blockage = sched
-			return sc
-		}
-		mgr, rc, bs, _ := fig18Schemes(cfg.Seed+int64(blockers)*10, budget, false)
-		outM, err := runner.Run(mkScenario(), mgr)
-		if err != nil {
-			panic(err)
-		}
-		outB, err := runner.Run(mkScenario(), bs)
-		if err != nil {
-			panic(err)
-		}
-		outR, err := runner.Run(mkScenario(), rc)
-		if err != nil {
-			panic(err)
-		}
+			out, err := sim.Runner{Warmup: sim.StandardWarmup}.Run(sc, fig18Scheme(name, budget, false, rng))
+			if err != nil {
+				panic(err)
+			}
+			return out[name].Summary.MeanThroughput / 1e6
+		})
+	for bi, blockers := range blockerCounts {
+		row := cells[bi*len(schemes) : (bi+1)*len(schemes)]
 		t.AddRow(stats.Fmt(float64(blockers)),
-			stats.Fmt(outM["mmreliable"].Summary.MeanThroughput/1e6),
-			stats.Fmt(outB["beamspy"].Summary.MeanThroughput/1e6),
-			stats.Fmt(outR["reactive"].Summary.MeanThroughput/1e6))
+			stats.Fmt(row[0]), stats.Fmt(row[1]), stats.Fmt(row[2]))
 	}
 	return t
 }
@@ -100,24 +102,29 @@ func fig18Ensemble(cfg Config) map[string][]link.Summary {
 
 func fig18EnsembleUncached(cfg Config) map[string][]link.Summary {
 	budget := sim.OutdoorBudget()
-	runner := sim.Runner{Warmup: sim.StandardWarmup}
-	out := map[string][]link.Summary{}
 	runs := cfg.runs(40)
-	for i := 0; i < runs; i++ {
-		seed := cfg.Seed*100 + int64(i)
-		mgr, rc, bs, wb := fig18Schemes(seed, budget, true)
-		for _, pair := range []struct {
-			name   string
-			scheme sim.Scheme
-		}{
-			{"mmreliable", mgr}, {"reactive", rc}, {"beamspy", bs}, {"widebeam", wb},
-		} {
-			res, err := runner.Run(sim.ThinMarginOutdoor(seed), pair.scheme)
+	nSchemes := len(fig18SchemeNames)
+	// Flatten (run, scheme) into one trial grid: each cell replays the
+	// run's scenario against one scheme. The scenario seed depends only on
+	// the run index, so all four schemes of a run see identical channel
+	// realizations (the controlled comparison the figure needs), while each
+	// cell's scheme draws from its own derived stream.
+	cells := ParallelTrials(cfg, labelFig18Ensemble, runs*nSchemes,
+		func(trial int, rng *rand.Rand) link.Summary {
+			run := trial / nSchemes
+			name := fig18SchemeNames[trial%nSchemes]
+			scenarioSeed := cfg.trialSeed(labelFig18Scenario, run)
+			out, err := sim.Runner{Warmup: sim.StandardWarmup}.Run(
+				sim.ThinMarginOutdoor(scenarioSeed), fig18Scheme(name, budget, true, rng))
 			if err != nil {
 				panic(err)
 			}
-			out[pair.name] = append(out[pair.name], res[pair.name].Summary)
-		}
+			return out[name].Summary
+		})
+	out := map[string][]link.Summary{}
+	for trial, s := range cells {
+		name := fig18SchemeNames[trial%nSchemes]
+		out[name] = append(out[name], s)
 	}
 	return out
 }

@@ -77,15 +77,17 @@ func fig19Throughputs(cfg Config, band env.Band) (single, multi float64) {
 	}
 
 	// Average throughput over time with the LOS blocked 10% of the time
-	// (depth 25 dB), small-scale fading on.
-	rng := rand.New(rand.NewSource(cfg.Seed + 191))
+	// (depth 25 dB), small-scale fading on. Each time step is one trial on
+	// the parallel runner; its fades come from the per-trial derived stream
+	// (previously an ad-hoc rand.NewSource(cfg.Seed+191)). The label is
+	// shared between the 28 and 60 GHz calls on purpose: both bands replay
+	// identical fade realizations, keeping the band comparison controlled.
 	steps := cfg.runs(400)
-	var thrS, thrM float64
-	for i := 0; i < steps; i++ {
+	type rates struct{ s, m float64 }
+	res := ParallelTrials(cfg, labelFig19, steps, func(i int, rng *rand.Rand) rates {
 		mm := m.Clone()
-		fade := func() float64 { return 1.0 * rng.NormFloat64() }
 		for k := range mm.Paths {
-			mm.Paths[k].ExtraLossDB += fade()
+			mm.Paths[k].ExtraLossDB += 1.0 * rng.NormFloat64()
 		}
 		blocked := i%10 == 0 // 10% of the time
 		if blocked {
@@ -97,8 +99,15 @@ func fig19Throughputs(cfg Config, band env.Band) (single, multi float64) {
 		if blocked {
 			wm = wBlocked
 		}
-		thrS += link.Throughput(budget.WidebandSNRdB(mm.EffectiveWideband(wSingle, offs)), budget.BandwidthHz, 0)
-		thrM += link.Throughput(budget.WidebandSNRdB(mm.EffectiveWideband(wm, offs)), budget.BandwidthHz, 0)
+		return rates{
+			s: link.Throughput(budget.WidebandSNRdB(mm.EffectiveWideband(wSingle, offs)), budget.BandwidthHz, 0),
+			m: link.Throughput(budget.WidebandSNRdB(mm.EffectiveWideband(wm, offs)), budget.BandwidthHz, 0),
+		}
+	})
+	var thrS, thrM float64
+	for _, r := range res {
+		thrS += r.s
+		thrM += r.m
 	}
 	return thrS / float64(steps), thrM / float64(steps)
 }

@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the deterministic parallel experiment engine: every
+// Monte-Carlo figure generator shards its independent trials across a
+// worker pool via ParallelTrials, and every trial draws randomness from
+// its own SplitMix-derived stream. Because a trial's stream depends only
+// on (Config.Seed, experiment label, trial index) — never on scheduling
+// order or worker count — the produced tables are byte-identical for any
+// Workers setting. See DESIGN.md §"Parallel experiment engine".
+
+// Experiment stream labels. Each experiment (and each independent stream
+// family inside an experiment) owns one label; distinct labels guarantee
+// distinct, collision-free RNG streams under the SplitMix64 derivation.
+// Never reuse a label across experiments.
+const (
+	labelFig15d        int64 = 154
+	labelFig16         int64 = 160
+	labelFig17b        int64 = 172
+	labelFig17c        int64 = 173
+	labelFig18a        int64 = 181
+	labelFig18Ensemble int64 = 182
+	labelFig18Scenario int64 = 183
+	labelFig19         int64 = 191
+	labelAblationA1    int64 = 901
+	labelAblationA2    int64 = 902
+	labelAblationA3    int64 = 903
+	labelAblationA4    int64 = 904
+	labelAblationA5    int64 = 905
+	labelExtIRS        int64 = 951
+	labelExtHandover   int64 = 961
+)
+
+// splitmix64 is the SplitMix64 finalizer (Steele et al., "Fast splittable
+// pseudorandom number generators"): a bijective avalanche mix whose output
+// decorrelates even adjacent inputs, so seed+1 and seed+2 derive unrelated
+// streams — unlike the raw additive offsets ("seed+161") the experiments
+// used before, which collide as soon as two call sites pick overlapping
+// constants.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// mixSeed folds the parts into one well-mixed 63-bit stream seed. Each part
+// passes through the SplitMix64 finalizer before being folded, so distinct
+// (seed, label, trial, sub) tuples map to distinct streams with
+// overwhelming probability and no structured collisions.
+func mixSeed(parts ...int64) int64 {
+	h := uint64(0x8E5B_D2F0_9D8A_731D)
+	for _, p := range parts {
+		h = splitmix64(h ^ uint64(p))
+	}
+	// math/rand sources take the seed mod 2^63-1; clear the sign bit.
+	return int64(h &^ (1 << 63))
+}
+
+// stream returns a deterministic generator for the given label path. The
+// stream depends only on (Seed, labels...) — not on Workers, scheduling, or
+// how many other streams were derived before it.
+func (c Config) stream(labels ...int64) *rand.Rand {
+	return rand.New(rand.NewSource(mixSeed(append([]int64{c.Seed}, labels...)...)))
+}
+
+// trialSeed derives the deterministic scenario/stream seed for one trial of
+// one experiment. Exposed to experiments that must hand an int64 seed to a
+// scenario constructor rather than an *rand.Rand.
+func (c Config) trialSeed(label int64, trial int) int64 {
+	return mixSeed(c.Seed, label, int64(trial))
+}
+
+// trialRNG is the per-trial generator ParallelTrials hands to the trial
+// function: stream (Seed, label, trial).
+func (c Config) trialRNG(label int64, trial int) *rand.Rand {
+	return rand.New(rand.NewSource(c.trialSeed(label, trial)))
+}
+
+// workers resolves the Workers knob: 0 means GOMAXPROCS, anything else is
+// clamped to at least 1.
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ParallelTrials runs n independent Monte-Carlo trials of one experiment
+// across the Config's worker pool and returns the per-trial results in
+// trial order.
+//
+// Determinism contract: fn receives a private *rand.Rand derived from
+// (cfg.Seed, label, trial) by SplitMix64 mixing, and its result lands at
+// out[trial]. Neither the stream nor the slot depends on which worker ran
+// the trial or in what order, so the returned slice is byte-identical for
+// any worker count — Workers only changes wall-clock time. fn must not
+// share mutable state across calls (each trial builds its own schemes,
+// scenarios, and generators).
+func ParallelTrials[T any](cfg Config, label int64, n int, fn func(trial int, rng *rand.Rand) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]T, n)
+	w := cfg.workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := range out {
+			out[i] = fn(i, cfg.trialRNG(label, i))
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i] = fn(i, cfg.trialRNG(label, i))
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
