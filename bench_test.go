@@ -17,6 +17,7 @@ import (
 
 	"mmreliable/internal/antenna"
 	"mmreliable/internal/channel"
+	"mmreliable/internal/cmx"
 	"mmreliable/internal/core/multibeam"
 	"mmreliable/internal/core/superres"
 	"mmreliable/internal/dsp"
@@ -165,5 +166,56 @@ func BenchmarkRayTrace(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_ = e.Trace(gnb, ue)
+	}
+}
+
+// Scratch-reusing variants of the hot paths: these are the steady-state
+// costs of the factored wideband kernel (BenchmarkProbe must report
+// 0 allocs/op — pinned by TestProbeIntoAllocs as well).
+
+func BenchmarkProbe(b *testing.B) {
+	m := benchChannel()
+	s, err := nr.NewSounder(nr.Mu3(), 400e6, 64, 1e-6, nr.DefaultImpairments(), rand.New(rand.NewSource(1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := m.Tx.SingleBeam(0)
+	dst := make(cmx.Vector, s.NumSC)
+	s.ProbeInto(m, w, dst) // warm FFT plan + channel cache
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.ProbeInto(m, w, dst)
+	}
+}
+
+func BenchmarkEffectiveWidebandInto(b *testing.B) {
+	m := benchChannel()
+	w := m.Tx.SingleBeam(0)
+	offs := channel.SubcarrierOffsets(400e6, 64)
+	dst := make(cmx.Vector, len(offs))
+	m.EffectiveWidebandInto(w, offs, dst)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.EffectiveWidebandInto(w, offs, dst)
+	}
+}
+
+func BenchmarkSuperresExtractInto(b *testing.B) {
+	m := benchChannel()
+	s, err := nr.NewSounder(nr.Mu3(), 400e6, 64, 1e-6, nr.DefaultImpairments(), rand.New(rand.NewSource(2)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := m.PerAntennaCSI(0).Conj().Normalize()
+	cir := s.CIR(s.Probe(m, w))
+	rel := []float64{0, 8e-9, 15e-9}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := superres.ExtractInto(cir, rel, s.DelayKernelInto, s.SampleSpacing(), superres.DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

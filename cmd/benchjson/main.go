@@ -1,0 +1,146 @@
+// Command benchjson converts `go test -bench` text output into a compact
+// JSON map for machine comparison across commits:
+//
+//	go test -bench 'Probe|EffectiveWideband' -benchmem -run '^$' . | benchjson > BENCH_results.json
+//
+// Each benchmark line
+//
+//	BenchmarkProbe-8   41946   6089 ns/op   0 B/op   0 allocs/op
+//
+// becomes an entry keyed by the benchmark name with the -cpu suffix
+// stripped:
+//
+//	"BenchmarkProbe": {"ns_per_op": 6089, "bytes_per_op": 0, "allocs_per_op": 0}
+//
+// Lines that are not benchmark results (headers, PASS/ok trailers, figure
+// tables printed to stderr by the harness) are ignored, so the whole
+// `go test -bench` stdout can be piped through unfiltered. Metadata fields
+// (`_goos`, `_pkg`, ...) are copied from the harness preamble when present.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's parsed metrics.
+type Result struct {
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  *int64  `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64  `json:"allocs_per_op,omitempty"`
+}
+
+func main() {
+	meta := map[string]string{}
+	results := map[string]Result{}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			meta["_goos"] = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			meta["_goarch"] = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			meta["_pkg"] = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			meta["_cpu"] = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		}
+		name, res, ok := parseLine(line)
+		if ok {
+			results[name] = res
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if err := emit(os.Stdout, meta, results); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseLine extracts one benchmark result; ok is false for non-benchmark
+// lines.
+func parseLine(line string) (string, Result, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+		return "", Result{}, false
+	}
+	// Strip the -<GOMAXPROCS> suffix so keys are stable across machines.
+	name := f[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return "", Result{}, false
+	}
+	res := Result{Iterations: iters}
+	ok := false
+	for i := 2; i+1 < len(f); i += 2 {
+		val, unit := f[i], f[i+1]
+		switch unit {
+		case "ns/op":
+			if v, err := strconv.ParseFloat(val, 64); err == nil {
+				res.NsPerOp = v
+				ok = true
+			}
+		case "B/op":
+			if v, err := strconv.ParseInt(val, 10, 64); err == nil {
+				res.BytesPerOp = &v
+			}
+		case "allocs/op":
+			if v, err := strconv.ParseInt(val, 10, 64); err == nil {
+				res.AllocsPerOp = &v
+			}
+		}
+	}
+	return name, res, ok
+}
+
+// emit writes metadata and results as one deterministic (sorted-key) JSON
+// object.
+func emit(w *os.File, meta map[string]string, results map[string]Result) error {
+	out := map[string]any{}
+	for k, v := range meta {
+		out[k] = v
+	}
+	for k, v := range results {
+		out[k] = v
+	}
+	keys := make([]string, 0, len(out))
+	for k := range out {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString("{\n")
+	for i, k := range keys {
+		kb, _ := json.Marshal(k)
+		vb, err := json.Marshal(out[k])
+		if err != nil {
+			return err
+		}
+		b.Write(kb)
+		b.WriteString(": ")
+		b.Write(vb)
+		if i < len(keys)-1 {
+			b.WriteString(",")
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("}\n")
+	_, err := w.WriteString(b.String())
+	return err
+}

@@ -10,6 +10,8 @@
 //	mmbench -fig 18b -quick    # reduced Monte-Carlo volume
 //	mmbench -seed 7 -fig 18c   # different random seed
 //	mmbench -fig 18b -workers 8  # shard Monte-Carlo trials over 8 cores
+//	mmbench -fig 16 -cpuprofile cpu.pprof   # profile the run
+//	mmbench -fig 16 -memprofile mem.pprof   # heap profile at exit
 //
 // Tables are byte-identical for every -workers value (including the
 // default GOMAXPROCS): per-trial RNG streams are derived from
@@ -20,6 +22,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"mmreliable/internal/experiments"
@@ -31,7 +35,38 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	workers := flag.Int("workers", 0, "worker goroutines for Monte-Carlo trials (0 = GOMAXPROCS); output is identical for any value")
 	list := flag.Bool("list", false, "list available figures")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with `go tool pprof`)")
+	memProfile := flag.String("memprofile", "", "write an allocation (heap) profile to this file at exit")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			runtime.GC() // materialize up-to-date allocation stats
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}()
+	}
 
 	if *list {
 		for _, e := range experiments.All() {

@@ -50,18 +50,42 @@ func (u *ULA) Validate() error {
 
 // Steering returns the steering vector a(φ) for departure angle phi.
 func (u *ULA) Steering(phi float64) cmx.Vector {
-	v := make(cmx.Vector, u.N)
-	k := -2 * math.Pi * u.Spacing / u.Lambda * math.Sin(phi)
-	for n := range v {
-		v[n] = cmplx.Exp(complex(0, k*float64(n)))
+	return u.SteeringInto(phi, make(cmx.Vector, u.N))
+}
+
+// SteeringInto writes the steering vector a(φ) into dst and returns it,
+// allocating only when dst is nil. len(dst) must equal u.N. This is the
+// scratch-reusing variant the probing hot path runs on.
+func (u *ULA) SteeringInto(phi float64, dst cmx.Vector) cmx.Vector {
+	if dst == nil {
+		dst = make(cmx.Vector, u.N)
 	}
-	return v
+	if len(dst) != u.N {
+		panic(fmt.Sprintf("antenna: steering dst length %d != %d elements", len(dst), u.N))
+	}
+	k := -2 * math.Pi * u.Spacing / u.Lambda * math.Sin(phi)
+	for n := range dst {
+		dst[n] = cmplx.Exp(complex(0, k*float64(n)))
+	}
+	return dst
 }
 
 // SingleBeam returns the unit-norm matched (conjugate) beamforming weights
 // for a beam steered toward phi (Eq. 6 of the paper).
 func (u *ULA) SingleBeam(phi float64) cmx.Vector {
-	return u.Steering(phi).Conj().Normalize()
+	return u.SingleBeamInto(phi, make(cmx.Vector, u.N))
+}
+
+// SingleBeamInto writes the matched single-beam weights into dst and
+// returns it (see SingleBeam), allocating only when dst is nil. The
+// arithmetic is identical to SingleBeam: steering vector, elementwise
+// conjugate, L2 normalization.
+func (u *ULA) SingleBeamInto(phi float64, dst cmx.Vector) cmx.Vector {
+	dst = u.SteeringInto(phi, dst)
+	for n := range dst {
+		dst[n] = cmplx.Conj(dst[n])
+	}
+	return dst.Normalize()
 }
 
 // Gain returns the power gain |a(θ)ᵀw|² of the weight vector w observed

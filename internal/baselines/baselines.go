@@ -43,6 +43,8 @@ type Common struct {
 	opt     Options
 
 	w              cmx.Vector
+	wb             cmx.Vector // wideband-response scratch for snr()
+	csi            cmx.Vector // probe scratch for scanUE
 	trainRemaining int
 	onTrainDone    func(t float64, m *channel.Model)
 	badSlots       int // consecutive below-threshold data slots
@@ -98,6 +100,8 @@ func newCommon(name string, u *antenna.ULA, budget link.Budget, num nr.Numerolog
 		cb:      antenna.DFTCodebook(u, opt.CodebookSize, -scan, scan),
 		offsets: channel.SubcarrierOffsets(budget.BandwidthHz, opt.NumSC),
 		opt:     opt,
+		wb:      make(cmx.Vector, opt.NumSC),
+		csi:     make(cmx.Vector, opt.NumSC),
 	}, nil
 }
 
@@ -142,7 +146,7 @@ func (c *Common) scanUE(m *channel.Model, w cmx.Vector) {
 	bestIdx, bestRSS := -1, 0.0
 	for i, v := range c.ueCB.Weights {
 		m.RxWeights = v
-		if r := nr.RSS(c.sounder.Probe(m, w)); bestIdx == -1 || r > bestRSS {
+		if r := nr.RSS(c.sounder.ProbeInto(m, w, c.csi)); bestIdx == -1 || r > bestRSS {
 			bestIdx, bestRSS = i, r
 		}
 	}
@@ -172,7 +176,7 @@ func (c *Common) snr(m *channel.Model) float64 {
 	if c.w == nil {
 		return math.Inf(-1)
 	}
-	return c.budget.WidebandSNRdB(m.EffectiveWideband(c.w, c.offsets))
+	return c.budget.WidebandSNRdB(m.EffectiveWidebandInto(c.w, c.offsets, c.wb))
 }
 
 func (c *Common) slotsFor(airTime float64) int {
@@ -404,6 +408,7 @@ type Oracle struct {
 	name    string
 	budget  link.Budget
 	offsets []float64
+	wb      cmx.Vector // wideband-response scratch
 }
 
 // NewOracle builds the oracle scheme.
@@ -412,6 +417,7 @@ func NewOracle(budget link.Budget, numSC int) *Oracle {
 		name:    "oracle",
 		budget:  budget,
 		offsets: channel.SubcarrierOffsets(budget.BandwidthHz, numSC),
+		wb:      make(cmx.Vector, numSC),
 	}
 }
 
@@ -441,7 +447,7 @@ func (o *Oracle) Step(t float64, m *channel.Model) sim.Slot {
 	}
 	best := math.Inf(-1)
 	for _, w := range cands {
-		if snr := o.budget.WidebandSNRdB(m.EffectiveWideband(w, o.offsets)); snr > best {
+		if snr := o.budget.WidebandSNRdB(m.EffectiveWidebandInto(w, o.offsets, o.wb)); snr > best {
 			best = snr
 		}
 	}

@@ -18,6 +18,8 @@ import (
 	"math"
 	"math/cmplx"
 	"math/rand"
+	"sync/atomic"
+	"unsafe"
 
 	"mmreliable/internal/antenna"
 	"mmreliable/internal/cmx"
@@ -42,6 +44,17 @@ type Model struct {
 	// (single reference element).
 	RxWeights cmx.Vector
 	Paths     []PathState
+
+	// epoch is bumped by InvalidateCache; the factored-kernel cache below
+	// is only reused when its epoch matches. Mutators that go around the
+	// cheap per-path snapshot check (e.g. editing RxWeights elements in
+	// place, or mutating Tx geometry) must call InvalidateCache.
+	epoch uint64
+	// cache holds a *modelCache built lazily on first wideband evaluation;
+	// it is read and replaced atomically so concurrent READ-ONLY use of one
+	// Model (the parallel experiment runner's worker pool) is race-free.
+	// The cached snapshot is immutable once published.
+	cache unsafe.Pointer
 }
 
 // New returns a channel model over the given band and TX array with the
@@ -79,15 +92,34 @@ func (m *Model) Validate() error {
 // PathGain returns the scalar complex gain of path index ℓ at baseband
 // frequency offset fOff (Hz from the carrier), including the receive-side
 // factor.
+//
+// The phase is computed in split form — the frequency-independent carrier
+// phasor e^{j(−2π·fc·τ + extra)} and the baseband ramp phasor e^{−j2π·fOff·τ}
+// are built separately and multiplied — so the direct evaluation and the
+// factored wideband kernel (EffectiveWidebandInto) share the same rounding
+// pattern and agree to well under 1e-12. Summing the phases as floats first
+// (carrierPhase ± thousands of radians plus a ±hundreds-of-radians ramp)
+// would round the total at the ulp of the carrier phase, a few 1e-12 rad,
+// putting that much noise between the two forms.
 func (m *Model) PathGain(l int, fOff float64) complex128 {
 	p := m.Paths[l]
 	amp := math.Pow(10, -(p.LossDB+p.ExtraLossDB)/20)
-	phase := -2*math.Pi*(m.Band.CarrierHz+fOff)*p.Delay + p.ExtraPhase
+	g := cmplx.Rect(amp, m.carrierPhase(l))
+	if fOff != 0 {
+		g *= cmplx.Rect(1, -2*math.Pi*fOff*p.Delay)
+	}
+	return g * m.rxFactor(p.AoA)
+}
+
+// carrierPhase returns the frequency-independent phase of path ℓ at the
+// carrier: −2π·fc·τ + ExtraPhase (+π for a PhasePi reflection).
+func (m *Model) carrierPhase(l int) float64 {
+	p := m.Paths[l]
+	phase := -2*math.Pi*m.Band.CarrierHz*p.Delay + p.ExtraPhase
 	if p.PhasePi {
 		phase += math.Pi
 	}
-	g := cmplx.Rect(amp, phase)
-	return g * m.rxFactor(p.AoA)
+	return phase
 }
 
 func (m *Model) rxFactor(aoa float64) complex128 {
@@ -102,13 +134,13 @@ func (m *Model) rxFactor(aoa float64) complex128 {
 // directly (one RF chain).
 func (m *Model) PerAntennaCSI(fOff float64) cmx.Vector {
 	h := make(cmx.Vector, m.Tx.N)
+	c := m.pathCache()
 	for l := range m.Paths {
 		g := m.PathGain(l, fOff)
 		if g == 0 {
 			continue
 		}
-		a := m.Tx.Steering(m.Paths[l].AoD)
-		h.AddScaled(g, a)
+		h.AddScaled(g, c.steer[l])
 	}
 	return h
 }
@@ -127,13 +159,219 @@ func (m *Model) Effective(w cmx.Vector, fOff float64) complex128 {
 	return y
 }
 
+// ---------------------------------------------------------------------------
+// Factored wideband kernel.
+//
+// Effective(w, f) = Σ_ℓ g_ℓ(f)·(a(φ_ℓ)ᵀw) separates into a frequency-
+// independent per-path coefficient and a linear frequency ramp:
+//
+//	g_ℓ(f)·(a(φ_ℓ)ᵀw) = [amp_ℓ·e^{jθ_ℓ}·r_ℓ·(a(φ_ℓ)ᵀw)] · e^{−j2π f τ_ℓ}
+//
+// with θ_ℓ the carrier phase and r_ℓ the RX factor. The bracket is computed
+// once per call (one O(N) dot per path); the uniform-grid frequency sweep
+// runs on a unit-phasor recurrence re-seeded from math.Sincos every
+// phasorReseed subcarriers, so accumulated rounding drift stays below
+// ~reseed·ε ≈ 1e-14 instead of growing O(nsc·ε). Everything that does not
+// depend on the beam w — the coefficient amp·e^{jθ}·r and the steering
+// vector a(φ_ℓ) — is cached on the Model (see pathCache).
+// ---------------------------------------------------------------------------
+
+// phasorReseed is the recurrence length between exact re-seeds of the
+// frequency-ramp phasor.
+const phasorReseed = 64
+
+// pathSnap records the per-path inputs a cached factor was derived from;
+// a mismatch with the live PathState invalidates the cache.
+type pathSnap struct {
+	lossDB, extraLoss, extraPhase, delay, aoD, aoA float64
+	phasePi                                        bool
+}
+
+// modelCache is the immutable frequency-independent per-path state of one
+// Model snapshot. It is published through an atomic pointer: concurrent
+// read-only users of a Model share one cache without locks, and a stale
+// cache is detected by the epoch and the per-path snapshots.
+type modelCache struct {
+	epoch   uint64
+	carrier float64
+	tx      *antenna.ULA
+	rx      *antenna.ULA
+	rxHead  *complex128 // first element of RxWeights at build time (nil if none)
+	rxLen   int
+	snaps   []pathSnap
+	coef    []complex128 // amp·e^{jθ}·rxFactor; 0 for dead paths
+	steer   []cmx.Vector // cached a(φ_ℓ), one per path
+	delays  []float64
+}
+
+// valid reports whether c still describes m. The per-path snapshot compare
+// is O(L) float equality checks (L is 2–4 in every scenario) — far cheaper
+// than one steering dot — and catches direct mutation of
+// Paths[l].ExtraLossDB/ExtraPhase even without an InvalidateCache call.
+// RxWeights are compared by slice identity: rebinding a different UE beam
+// (m.RxWeights = v) is caught, in-place element edits require
+// InvalidateCache.
+func (c *modelCache) valid(m *Model) bool {
+	if c.epoch != m.epoch || c.carrier != m.Band.CarrierHz || c.tx != m.Tx || c.rx != m.Rx {
+		return false
+	}
+	var head *complex128
+	if len(m.RxWeights) > 0 {
+		head = &m.RxWeights[0]
+	}
+	if c.rxHead != head || c.rxLen != len(m.RxWeights) {
+		return false
+	}
+	if len(c.snaps) != len(m.Paths) {
+		return false
+	}
+	for i := range c.snaps {
+		p := &m.Paths[i]
+		s := &c.snaps[i]
+		if s.lossDB != p.LossDB || s.extraLoss != p.ExtraLossDB ||
+			s.extraPhase != p.ExtraPhase || s.delay != p.Delay ||
+			s.aoD != p.AoD || s.aoA != p.AoA || s.phasePi != p.PhasePi {
+			return false
+		}
+	}
+	return true
+}
+
+// InvalidateCache marks the factored-kernel cache stale. Callers that
+// mutate path state through the exported fields get automatic invalidation
+// via the per-path snapshot check; InvalidateCache is the explicit escape
+// hatch for mutations the snapshot cannot see (in-place RxWeights element
+// edits, Tx/Rx geometry changes). It requires the same exclusive access as
+// any other Model mutation.
+func (m *Model) InvalidateCache() { m.epoch++ }
+
+// pathCache returns a valid frequency-independent path cache, rebuilding it
+// if the model changed since the last build. Concurrent readers may race to
+// rebuild an identical cache; the atomic publish keeps that benign.
+func (m *Model) pathCache() *modelCache {
+	if c := (*modelCache)(atomic.LoadPointer(&m.cache)); c != nil && c.valid(m) {
+		return c
+	}
+	c := m.buildCache()
+	atomic.StorePointer(&m.cache, unsafe.Pointer(c))
+	return c
+}
+
+func (m *Model) buildCache() *modelCache {
+	c := &modelCache{
+		epoch:   m.epoch,
+		carrier: m.Band.CarrierHz,
+		tx:      m.Tx,
+		rx:      m.Rx,
+		rxLen:   len(m.RxWeights),
+		snaps:   make([]pathSnap, len(m.Paths)),
+		coef:    make([]complex128, len(m.Paths)),
+		steer:   make([]cmx.Vector, len(m.Paths)),
+		delays:  make([]float64, len(m.Paths)),
+	}
+	if len(m.RxWeights) > 0 {
+		c.rxHead = &m.RxWeights[0]
+	}
+	for l := range m.Paths {
+		p := &m.Paths[l]
+		c.snaps[l] = pathSnap{
+			lossDB: p.LossDB, extraLoss: p.ExtraLossDB, extraPhase: p.ExtraPhase,
+			delay: p.Delay, aoD: p.AoD, aoA: p.AoA, phasePi: p.PhasePi,
+		}
+		c.delays[l] = p.Delay
+		amp := math.Pow(10, -(p.LossDB+p.ExtraLossDB)/20)
+		c.coef[l] = cmplx.Rect(amp, m.carrierPhase(l)) * m.rxFactor(p.AoA)
+		c.steer[l] = m.Tx.Steering(p.AoD)
+	}
+	return c
+}
+
+// uniformStep reports whether fOffs is a uniform grid (to within a few ulps
+// of the end-to-end span, tight enough that the phase approximation error of
+// the recurrence stays below 1e-12 rad for every realistic delay) and
+// returns the common step.
+func uniformStep(fOffs []float64) (float64, bool) {
+	if len(fOffs) < 3 {
+		if len(fOffs) == 2 {
+			return fOffs[1] - fOffs[0], true
+		}
+		return 0, true
+	}
+	step := fOffs[1] - fOffs[0]
+	scale := math.Abs(fOffs[0])
+	if s := math.Abs(fOffs[len(fOffs)-1]); s > scale {
+		scale = s
+	}
+	if s := math.Abs(step) * float64(len(fOffs)); s > scale {
+		scale = s
+	}
+	tol := 64 * 2.220446049250313e-16 * scale
+	f0 := fOffs[0]
+	for k := 2; k < len(fOffs); k++ {
+		if math.Abs(fOffs[k]-(f0+float64(k)*step)) > tol {
+			return 0, false
+		}
+	}
+	return step, true
+}
+
 // EffectiveWideband evaluates Effective at each frequency offset.
 func (m *Model) EffectiveWideband(w cmx.Vector, fOffs []float64) cmx.Vector {
-	out := make(cmx.Vector, len(fOffs))
-	for i, f := range fOffs {
-		out[i] = m.Effective(w, f)
+	return m.EffectiveWidebandInto(w, fOffs, make(cmx.Vector, len(fOffs)))
+}
+
+// EffectiveWidebandInto writes the effective wideband channel under TX beam
+// w into dst and returns it, allocating only when dst is nil (or on a cache
+// rebuild after a model mutation). len(dst) must equal len(fOffs). The cost
+// is O(L·N + nsc·L) versus the naive O(nsc·L·N) with nsc·L complex
+// exponentials; results match the direct per-subcarrier Effective to well
+// under 1e-12 (pinned by TestEffectiveWidebandFactoredEquivalence).
+func (m *Model) EffectiveWidebandInto(w cmx.Vector, fOffs []float64, dst cmx.Vector) cmx.Vector {
+	if dst == nil {
+		dst = make(cmx.Vector, len(fOffs))
 	}
-	return out
+	if len(dst) != len(fOffs) {
+		panic(fmt.Sprintf("channel: wideband dst length %d != %d offsets", len(dst), len(fOffs)))
+	}
+	c := m.pathCache()
+	for k := range dst {
+		dst[k] = 0
+	}
+	step, uniform := uniformStep(fOffs)
+	for l := range c.coef {
+		base := c.coef[l]
+		if base == 0 {
+			continue
+		}
+		cl := base * c.steer[l].Dot(w)
+		tau := c.delays[l]
+		if tau == 0 {
+			for k := range dst {
+				dst[k] += cl
+			}
+			continue
+		}
+		if !uniform {
+			for k, f := range fOffs {
+				dst[k] += cl * cmplx.Rect(1, -2*math.Pi*f*tau)
+			}
+			continue
+		}
+		// Uniform grid: unit-phasor recurrence for e^{−j2π f_k τ},
+		// re-seeded exactly every phasorReseed subcarriers.
+		angle0 := -2 * math.Pi * fOffs[0] * tau
+		stepAngle := -2 * math.Pi * step * tau
+		r := cmplx.Rect(1, stepAngle)
+		var p complex128
+		for k := range dst {
+			if k%phasorReseed == 0 {
+				p = cmplx.Rect(1, angle0+float64(k)*stepAngle)
+			}
+			dst[k] += cl * p
+			p *= r
+		}
+	}
+	return dst
 }
 
 // SubcarrierOffsets returns nsc baseband frequency offsets uniformly
@@ -151,13 +389,20 @@ func SubcarrierOffsets(bw float64, nsc int) []float64 {
 }
 
 // Clone returns a deep copy of the model (paths copied, arrays shared).
+// The factored-kernel cache is not carried over: the clone rebuilds its own
+// on first wideband evaluation, so clone and original never contend on the
+// atomic cache slot.
 func (m *Model) Clone() *Model {
-	out := *m
-	out.Paths = append([]PathState(nil), m.Paths...)
+	out := &Model{
+		Band:  m.Band,
+		Tx:    m.Tx,
+		Rx:    m.Rx,
+		Paths: append([]PathState(nil), m.Paths...),
+	}
 	if m.RxWeights != nil {
 		out.RxWeights = m.RxWeights.Clone()
 	}
-	return &out
+	return out
 }
 
 // StrongestPath returns the index of the path with the lowest total loss,

@@ -89,11 +89,43 @@ func (a *Array) Effective(m *channel.Model, fOff float64) complex128 {
 
 // EffectiveWideband evaluates Effective at each frequency offset.
 func (a *Array) EffectiveWideband(m *channel.Model, fOffs []float64) cmx.Vector {
-	out := make(cmx.Vector, len(fOffs))
-	for i, f := range fOffs {
-		out[i] = a.Effective(m, f)
+	return a.EffectiveWidebandInto(m, fOffs, make(cmx.Vector, len(fOffs)))
+}
+
+// EffectiveWidebandInto is EffectiveWideband writing into dst (allocated
+// when nil). Instead of re-deriving every panel's weights at every
+// frequency, it factors each panel's response as
+//
+//	y_g(f) = (Coeff_g/‖·‖)·e^{−j2πfΔτ_g} · h_g(f),
+//
+// where h_g(f) is the channel under the panel's UNSCALED matched beam —
+// evaluated once per panel by the factored wideband kernel — and the
+// per-frequency rotation of the true-time delay line is applied as a scalar
+// multiply. Same separability trick as channel.EffectiveWidebandInto: the
+// panel beam is frequency-independent, only the delay-line phase sweeps.
+func (a *Array) EffectiveWidebandInto(m *channel.Model, fOffs []float64, dst cmx.Vector) cmx.Vector {
+	if dst == nil {
+		dst = make(cmx.Vector, len(fOffs))
 	}
-	return out
+	if len(dst) != len(fOffs) {
+		panic(fmt.Sprintf("delayarray: dst length %d != %d offsets", len(dst), len(fOffs)))
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	hg := make(cmx.Vector, len(fOffs))
+	w := make(cmx.Vector, a.Panel.N)
+	for g := range a.Groups {
+		grp := a.Groups[g]
+		a.Panel.SingleBeamInto(grp.Angle, w)
+		m.EffectiveWidebandInto(w, fOffs, hg)
+		base := grp.Coeff / complex(a.norm, 0)
+		for k, f := range fOffs {
+			rot := base * cmplx.Exp(complex(0, -2*math.Pi*f*grp.Delay))
+			dst[k] += rot * hg[k]
+		}
+	}
+	return dst
 }
 
 // CompensatingDelays returns per-panel delay settings that equalize the

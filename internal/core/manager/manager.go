@@ -137,6 +137,16 @@ type Manager struct {
 	cb      *antenna.Codebook
 	offsets []float64
 
+	// Hot-path scratch: wbBuf holds the wideband response snr() evaluates
+	// every slot; mbScratch/ueScratch hold one lobe's matched beam during
+	// multi-beam synthesis. All are internal to a single call — the composed
+	// weight vectors themselves are always freshly allocated because they
+	// escape into the front end (fe.SetWeights) and the channel snapshot
+	// (m.RxWeights).
+	wbBuf     cmx.Vector
+	mbScratch cmx.Vector
+	ueScratch cmx.Vector
+
 	// Beam state.
 	angles    []float64 // per-beam steering angles (reference first)
 	relDelays []float64 // per-beam ToF relative to the reference
@@ -200,6 +210,8 @@ func New(name string, u *antenna.ULA, budget link.Budget, num nr.Numerology, cfg
 		cb:      antenna.DFTCodebook(u, cfg.CodebookSize, -scan, scan),
 		offsets: channel.SubcarrierOffsets(budget.BandwidthHz, cfg.NumSC),
 	}
+	mgr.wbBuf = make(cmx.Vector, cfg.NumSC)
+	mgr.mbScratch = make(cmx.Vector, u.N)
 	return mgr, nil
 }
 
@@ -318,6 +330,7 @@ func (g *Manager) bindUE(m *channel.Model) {
 		g.ueArr = m.Rx
 		scan := dsp.Rad(g.cfg.ScanRangeDeg)
 		g.ueCB = antenna.DFTCodebook(m.Rx, 2*m.Rx.N+1, -scan, scan)
+		g.ueScratch = make(cmx.Vector, m.Rx.N)
 	}
 	m.RxWeights = g.ueW // nil = quasi-omni until the UE beam is trained
 }
@@ -329,7 +342,7 @@ func (g *Manager) snr(m *channel.Model) float64 {
 	if w == nil {
 		return math.Inf(-1)
 	}
-	return g.budget.WidebandSNRdB(m.EffectiveWideband(w, g.offsets))
+	return g.budget.WidebandSNRdB(m.EffectiveWidebandInto(w, g.offsets, g.wbBuf))
 }
 
 // runWithDebt executes an inline maintenance step and charges its CSI-RS
@@ -610,7 +623,7 @@ func (g *Manager) applyWeights(t float64) bool {
 	if len(lobes) == 0 {
 		return false
 	}
-	w, err := multibeam.Weights(g.u, lobes)
+	w, err := multibeam.WeightsInto(g.u, lobes, nil, g.mbScratch)
 	if err != nil {
 		return false
 	}
@@ -629,7 +642,7 @@ func (g *Manager) maintain(t float64, m *channel.Model) {
 	pr := &boundProber{s: g.sounder, m: m}
 	csi := pr.Probe(g.w)
 	cir := g.sounder.CIR(csi)
-	res, err := superres.Extract(cir, g.relDelays, g.sounder.DelayKernel, g.sounder.SampleSpacing(), g.cfg.Superres)
+	res, err := superres.ExtractInto(cir, g.relDelays, g.sounder.DelayKernelInto, g.sounder.SampleSpacing(), g.cfg.Superres)
 	if err != nil {
 		g.retrainCause(t, "superres")
 		return
@@ -738,7 +751,7 @@ func (g *Manager) maintain(t float64, m *channel.Model) {
 func (g *Manager) ccRefresh(t float64, m *channel.Model) {
 	pr := &boundProber{s: g.sounder, m: m}
 	csi := pr.Probe(g.w)
-	res, err := superres.Extract(g.sounder.CIR(csi), g.relDelays, g.sounder.DelayKernel, g.sounder.SampleSpacing(), g.cfg.Superres)
+	res, err := superres.ExtractInto(g.sounder.CIR(csi), g.relDelays, g.sounder.DelayKernelInto, g.sounder.SampleSpacing(), g.cfg.Superres)
 	if err != nil {
 		return // transient: the next maintenance round will deal with it
 	}
@@ -878,7 +891,7 @@ func (g *Manager) applyUEWeights(ueAngles []float64) bool {
 			lobes = append(lobes, multibeam.Beam{Angle: a, Amp: g.ueAmp(k)})
 		}
 	}
-	w, err := multibeam.Weights(g.ueArr, lobes)
+	w, err := multibeam.WeightsInto(g.ueArr, lobes, nil, g.ueScratch)
 	if err != nil {
 		return false
 	}
@@ -899,7 +912,7 @@ func (g *Manager) applyUEWeightsN(n int) bool {
 	for k := 0; k < n; k++ {
 		lobes[k] = multibeam.Beam{Angle: g.ueAngles[k], Amp: g.ueAmp(k)}
 	}
-	w, err := multibeam.Weights(g.ueArr, lobes)
+	w, err := multibeam.WeightsInto(g.ueArr, lobes, nil, g.ueScratch)
 	if err != nil {
 		return false
 	}

@@ -37,21 +37,40 @@ func Reference(angle float64) Beam { return Beam{Angle: angle, Amp: 1, Phase: 0}
 // (Eq. 10). Note δ_k and σ_k describe the *channel* of path k relative to
 // the reference path; Weights derives the transmit coefficients from them.
 func Weights(u *antenna.ULA, beams []Beam) (cmx.Vector, error) {
+	return WeightsInto(u, beams, nil, nil)
+}
+
+// WeightsInto is Weights with caller-provided buffers: dst receives the
+// synthesized weight vector and scratch holds one lobe's matched beam at a
+// time. Either may be nil (allocated on demand); when both are supplied the
+// synthesis is allocation-free. The arithmetic — per-lobe matched beam,
+// coefficient-scaled accumulation, final normalization — is identical to
+// Weights. dst must not alias a weight vector the caller still transmits.
+func WeightsInto(u *antenna.ULA, beams []Beam, dst, scratch cmx.Vector) (cmx.Vector, error) {
 	if len(beams) == 0 {
 		return nil, fmt.Errorf("multibeam: no beams")
 	}
-	sum := cmx.NewVector(u.N)
+	if dst == nil {
+		dst = make(cmx.Vector, u.N)
+	}
+	if len(dst) != u.N {
+		return nil, fmt.Errorf("multibeam: dst length %d != %d elements", len(dst), u.N)
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
 	for _, b := range beams {
 		if b.Amp < 0 {
 			return nil, fmt.Errorf("multibeam: negative amplitude %g", b.Amp)
 		}
 		coeff := cmplx.Rect(b.Amp, -b.Phase)
-		sum.AddScaled(coeff, u.SingleBeam(b.Angle))
+		scratch = u.SingleBeamInto(b.Angle, scratch)
+		dst.AddScaled(coeff, scratch)
 	}
-	if sum.Norm() < 1e-15 {
+	if dst.Norm() < 1e-15 {
 		return nil, fmt.Errorf("multibeam: beams cancel (zero total weight)")
 	}
-	return sum.Normalize(), nil
+	return dst.Normalize(), nil
 }
 
 // FromChannelRatios builds the lobe list from measured relative channel

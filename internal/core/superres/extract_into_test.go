@@ -1,0 +1,29 @@
+package superres
+
+import (
+	"testing"
+)
+
+// TestExtractIntoMatchesExtract pins the scratch-reusing solver to the
+// allocating one: same CIR, same dictionary, identical Result.
+func TestExtractIntoMatchesExtract(t *testing.T) {
+	s := newSounder(t, 2e-6, 9)
+	cir, _ := measure(t, s, 3, 10)
+	rel := []float64{0, 10e-9}
+	a, err := Extract(cir, rel, s.DelayKernel, s.SampleSpacing(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ExtractInto(cir, rel, s.DelayKernelInto, s.SampleSpacing(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.BaseDelay != b.BaseDelay || a.Residual != b.Residual {
+		t.Fatalf("fit diverges: base %g vs %g, residual %g vs %g", a.BaseDelay, b.BaseDelay, a.Residual, b.Residual)
+	}
+	for k := range a.Amp {
+		if a.Amp[k] != b.Amp[k] || a.Power[k] != b.Power[k] {
+			t.Fatalf("beam %d amplitude diverges: %v vs %v", k, a.Amp[k], b.Amp[k])
+		}
+	}
+}

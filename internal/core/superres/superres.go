@@ -25,6 +25,13 @@ import (
 // delay (seconds). nr.(*Sounder).DelayKernel satisfies this.
 type KernelFunc func(tau float64) cmx.Vector
 
+// KernelIntoFunc writes the CIR signature of a unit path at the given
+// absolute delay into dst and returns it (dst may be nil, in which case the
+// kernel allocates). nr.(*Sounder).DelayKernelInto satisfies this; the
+// alignment search calls it hundreds of times per fit on one reused scratch
+// column.
+type KernelIntoFunc func(tau float64, dst cmx.Vector) cmx.Vector
+
 // Config tunes the solver.
 type Config struct {
 	// Lambda is the L2 (ridge) regularization weight of Eq. 23. It
@@ -66,6 +73,17 @@ type Result struct {
 // a grid of base delays around 0 is searched; at each candidate the ridge
 // system (Eq. 23) is solved and the best-residual solution wins.
 func Extract(cir cmx.Vector, relDelays []float64, kernel KernelFunc, sampleSpacing float64, cfg Config) (Result, error) {
+	return ExtractInto(cir, relDelays, func(tau float64, _ cmx.Vector) cmx.Vector {
+		return kernel(tau)
+	}, sampleSpacing, cfg)
+}
+
+// ExtractInto is Extract for scratch-reusing kernels: every dictionary
+// evaluation of the alignment search runs through one reused column buffer
+// instead of allocating a fresh vector per candidate delay. Pass
+// nr.(*Sounder).DelayKernelInto (or any KernelIntoFunc that honors its dst
+// argument).
+func ExtractInto(cir cmx.Vector, relDelays []float64, kernel KernelIntoFunc, sampleSpacing float64, cfg Config) (Result, error) {
 	if len(cir) == 0 {
 		return Result{}, fmt.Errorf("superres: empty CIR")
 	}
@@ -106,7 +124,7 @@ func Extract(cir cmx.Vector, relDelays []float64, kernel KernelFunc, sampleSpaci
 	gram := func() *cmx.Matrix {
 		cols := make([]cmx.Vector, len(relDelays))
 		for k, rd := range relDelays {
-			cols[k] = kernel(rd)
+			cols[k] = kernel(rd, nil) // distinct columns: no scratch sharing
 		}
 		return cmx.FromColumns(cols).Gram()
 	}()
@@ -117,10 +135,13 @@ func Extract(cir cmx.Vector, relDelays []float64, kernel KernelFunc, sampleSpaci
 		}
 	}
 	b2 := aligned.Norm2()
+	// One column scratch and one correlation buffer shared by every
+	// alignment candidate (the solver copies what it keeps).
+	col := make(cmx.Vector, len(cir))
+	corr := make(cmx.Vector, len(relDelays))
 	fit := func(base float64) (Result, bool) {
-		corr := make(cmx.Vector, len(relDelays))
 		for k, rd := range relDelays {
-			corr[k] = kernel(base + rd).Hdot(aligned)
+			corr[k] = kernel(base+rd, col).Hdot(aligned)
 		}
 		alpha, err := cmx.Solve(ridged, corr)
 		if err != nil {

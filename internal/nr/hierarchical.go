@@ -7,6 +7,7 @@ import (
 
 	"mmreliable/internal/antenna"
 	"mmreliable/internal/channel"
+	"mmreliable/internal/cmx"
 )
 
 // Hierarchical beam training: instead of sweeping every narrow beam, probe
@@ -91,6 +92,9 @@ func HierSweep(s *Sounder, m *channel.Model, u *antenna.ULA, cfg HierConfig) (Hi
 		depth = 1
 	}
 	live := []sector{{lo: cfg.ScanMin, hi: cfg.ScanMax}}
+	// One CSI buffer serves every probe of the descent: only the scalar RSS
+	// of each probe survives.
+	csi := make(cmx.Vector, s.NumSC)
 	for level := 1; level <= depth; level++ {
 		// Aperture grows with depth: wide beams early, full aperture last.
 		frac := float64(level) / float64(depth)
@@ -103,7 +107,7 @@ func HierSweep(s *Sounder, m *channel.Model, u *antenna.ULA, cfg HierConfig) (Hi
 				hi := lo + step
 				center := (lo + hi) / 2
 				w := antenna.WideBeam(u, center, active)
-				rss := RSS(s.Probe(m, w))
+				rss := RSS(s.ProbeInto(m, w, csi))
 				res.NumProbe++
 				next = append(next, sector{lo: lo, hi: hi, rss: rss})
 			}

@@ -1,0 +1,69 @@
+package nr
+
+import (
+	"math/rand"
+	"testing"
+
+	"mmreliable/internal/cmx"
+)
+
+// TestProbeIntoMatchesProbe pins the scratch-reusing probe to the allocating
+// one bit for bit, including the RNG draw order: two sounders seeded
+// identically, one probing through Probe and one through ProbeInto, must
+// produce identical CSI estimates and identical subsequent random draws.
+func TestProbeIntoMatchesProbe(t *testing.T) {
+	m := testChannel()
+	w := m.Tx.SingleBeam(0.1)
+	s1, err := NewSounder(Mu3(), 400e6, 64, 0.05, DefaultImpairments(), rand.New(rand.NewSource(42)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewSounder(Mu3(), 400e6, 64, 0.05, DefaultImpairments(), rand.New(rand.NewSource(42)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make(cmx.Vector, 64)
+	for it := 0; it < 5; it++ {
+		a := s1.Probe(m.Clone(), w)
+		b := s2.ProbeInto(m.Clone(), w, buf)
+		for k := range a {
+			if a[k] != b[k] {
+				t.Fatalf("iteration %d: Probe and ProbeInto diverge at subcarrier %d: %v vs %v", it, k, a[k], b[k])
+			}
+		}
+	}
+	if s1.Probes != s2.Probes {
+		t.Fatalf("probe counters diverge: %d vs %d", s1.Probes, s2.Probes)
+	}
+}
+
+// TestProbeIntoAllocs pins the probing hot path — channel evaluation, OFDM
+// round trip, noise, impairments — to zero steady-state allocations.
+func TestProbeIntoAllocs(t *testing.T) {
+	s := testSounder(t, 0.05, DefaultImpairments())
+	m := testChannel()
+	w := m.Tx.SingleBeam(0.1)
+	dst := make(cmx.Vector, s.NumSC)
+	s.ProbeInto(m, w, dst) // warm: FFT plan, channel cache
+	allocs := testing.AllocsPerRun(100, func() {
+		s.ProbeInto(m, w, dst)
+	})
+	if allocs != 0 {
+		t.Fatalf("ProbeInto allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestDelayKernelIntoMatches pins the scratch variant to the allocating one.
+func TestDelayKernelIntoMatches(t *testing.T) {
+	s := testSounder(t, 0, Impairments{})
+	dst := make(cmx.Vector, s.NumSC)
+	for _, tau := range []float64{0, 1.3e-9, 12e-9, -4e-9, 157e-9} {
+		a := s.DelayKernel(tau)
+		b := s.DelayKernelInto(tau, dst)
+		for k := range a {
+			if a[k] != b[k] {
+				t.Fatalf("tau %g: kernels diverge at tap %d", tau, k)
+			}
+		}
+	}
+}

@@ -41,6 +41,14 @@ type Sounder struct {
 
 	rng   *rand.Rand
 	pilot cmx.Vector
+	// offsets caches SubcarrierOffsets at construction; Probe used to
+	// re-allocate this []float64 on every sounding.
+	offsets []float64
+	// hBuf and tdBuf are the per-sounder scratch vectors of the probe hot
+	// path (true wideband channel and OFDM time-domain round trip). A
+	// Sounder is single-threaded by construction (it owns an rng), so the
+	// scratch needs no synchronization.
+	hBuf, tdBuf cmx.Vector
 	// Probes counts channel soundings for overhead accounting.
 	Probes int
 }
@@ -69,6 +77,9 @@ func NewSounder(num Numerology, bandwidthHz float64, numSC int, noiseAmp float64
 		rng:         rng,
 	}
 	s.pilot = qpskPilot(numSC)
+	s.offsets = channel.SubcarrierOffsets(bandwidthHz, numSC)
+	s.hBuf = make(cmx.Vector, numSC)
+	s.tdBuf = make(cmx.Vector, numSC)
 	return s, nil
 }
 
@@ -85,9 +96,13 @@ func qpskPilot(n int) cmx.Vector {
 }
 
 // SubcarrierOffsets returns the baseband frequency of each measured
-// subcarrier.
+// subcarrier. The returned slice is the sounder's cached copy — treat it as
+// read-only.
 func (s *Sounder) SubcarrierOffsets() []float64 {
-	return channel.SubcarrierOffsets(s.BandwidthHz, s.NumSC)
+	if s.offsets == nil {
+		s.offsets = channel.SubcarrierOffsets(s.BandwidthHz, s.NumSC)
+	}
+	return s.offsets
 }
 
 // Probe sounds the channel with TX beam w and returns the estimated
@@ -95,14 +110,35 @@ func (s *Sounder) SubcarrierOffsets() []float64 {
 // ĥ[k] = e^{jθ}e^{jφk}·h[k] + ν[k] with θ the CFO phase, φ the SFO slope,
 // and ν white noise of amplitude NoiseAmp.
 func (s *Sounder) Probe(m *channel.Model, w cmx.Vector) cmx.Vector {
-	offs := s.SubcarrierOffsets()
+	return s.ProbeInto(m, w, make(cmx.Vector, s.NumSC))
+}
+
+// ProbeInto is Probe writing the CSI estimate into dst (allocated when
+// nil), reusing the sounder's internal scratch for the channel evaluation
+// and the OFDM round trip — zero allocations in steady state. dst must not
+// alias a previous ProbeInto result the caller still needs; the RNG
+// consumption is identical to Probe's, so mixing Probe and ProbeInto calls
+// leaves every random draw unchanged.
+func (s *Sounder) ProbeInto(m *channel.Model, w cmx.Vector, dst cmx.Vector) cmx.Vector {
+	if dst == nil {
+		dst = make(cmx.Vector, s.NumSC)
+	}
+	if len(dst) != s.NumSC {
+		panic(fmt.Sprintf("nr: probe dst length %d != %d subcarriers", len(dst), s.NumSC))
+	}
+	if s.hBuf == nil {
+		s.hBuf = make(cmx.Vector, s.NumSC)
+		s.tdBuf = make(cmx.Vector, s.NumSC)
+	}
 	// True channel per subcarrier under this beam.
-	h := m.EffectiveWideband(w, offs)
+	h := m.EffectiveWidebandInto(w, s.SubcarrierOffsets(), s.hBuf)
 
 	// OFDM round trip: pilot → IFFT → (channel in time domain is exactly a
 	// per-subcarrier multiply for CP-OFDM) → FFT → equalize.
-	tx := s.pilot.Mul(h)
-	td := tx.Clone()
+	td := s.tdBuf
+	for i := range td {
+		td[i] = s.pilot[i] * h[i]
+	}
 	if err := dsp.IFFT(td); err != nil {
 		panic(err) // length checked at construction
 	}
@@ -118,9 +154,8 @@ func (s *Sounder) Probe(m *channel.Model, w cmx.Vector) cmx.Vector {
 		panic(err)
 	}
 	// Equalize by the known pilot.
-	est := make(cmx.Vector, s.NumSC)
-	for k := range est {
-		est[k] = rx[k] / s.pilot[k]
+	for k := range dst {
+		dst[k] = rx[k] / s.pilot[k]
 	}
 	// Impairments.
 	var theta, slope float64
@@ -131,13 +166,13 @@ func (s *Sounder) Probe(m *channel.Model, w cmx.Vector) cmx.Vector {
 		slope = (s.rng.Float64()*2 - 1) * s.Imp.SFOMaxSlope
 	}
 	if theta != 0 || slope != 0 {
-		for k := range est {
+		for k := range dst {
 			frac := float64(k)/float64(s.NumSC) - 0.5
-			est[k] *= cmplx.Exp(complex(0, theta+slope*frac))
+			dst[k] *= cmplx.Exp(complex(0, theta+slope*frac))
 		}
 	}
 	s.Probes++
-	return est
+	return dst
 }
 
 // RSS returns the mean per-subcarrier power of a CSI estimate — the
@@ -178,14 +213,27 @@ func (s *Sounder) SampleSpacing() float64 { return 1 / s.BandwidthHz }
 // delays well inside the CIR span the magnitude approaches
 // |sinc(B(nTs − τ))| (Eq. 22).
 func (s *Sounder) DelayKernel(tau float64) cmx.Vector {
+	return s.DelayKernelInto(tau, make(cmx.Vector, s.NumSC))
+}
+
+// DelayKernelInto is DelayKernel writing into dst (allocated when nil). It
+// satisfies superres.KernelIntoFunc, so the super-resolution search — which
+// evaluates this kernel hundreds of times per fit — can run on one reused
+// scratch column.
+func (s *Sounder) DelayKernelInto(tau float64, dst cmx.Vector) cmx.Vector {
 	// Closed form of IFFT_n{e^{−j2πf_k τ}} over the centered subcarrier
 	// grid f_k = −B/2 + (k+½)B/N: a geometric series whose ratio at output
 	// tap n is ρ_n = e^{j(2πn/N − 2πBτ/N)} and whose N-th power is the
 	// n-independent constant e^{−j2πBτ}. Equivalent to the IFFT the CIR
-	// path computes, at a fraction of the cost (the super-resolution
-	// search evaluates this kernel hundreds of times per fit).
+	// path computes, at a fraction of the cost.
 	n := s.NumSC
-	out := make(cmx.Vector, n)
+	out := dst
+	if out == nil {
+		out = make(cmx.Vector, n)
+	}
+	if len(out) != n {
+		panic(fmt.Sprintf("nr: delay-kernel dst length %d != %d subcarriers", len(out), n))
+	}
 	bTau := s.BandwidthHz * tau
 	lead := cmplx.Exp(complex(0, -2*math.Pi*(-s.BandwidthHz/2+s.BandwidthHz/(2*float64(n)))*tau))
 	num := cmplx.Exp(complex(0, -2*math.Pi*bTau)) - 1

@@ -6,6 +6,7 @@ import (
 
 	"mmreliable/internal/antenna"
 	"mmreliable/internal/channel"
+	"mmreliable/internal/cmx"
 )
 
 // SweepResult is the outcome of an SSB beam-training sweep.
@@ -32,8 +33,11 @@ func (r SweepResult) Angles(cb *antenna.Codebook) []float64 {
 // training" building block (Fig. 2).
 func Sweep(s *Sounder, m *channel.Model, cb *antenna.Codebook, maxBeams, minSepIdx int, dynRangeDB float64) SweepResult {
 	res := SweepResult{RSS: make([]float64, cb.Len())}
+	// One CSI buffer serves the whole sweep: only the scalar RSS of each
+	// probe survives the iteration.
+	csi := make(cmx.Vector, s.NumSC)
 	for i, w := range cb.Weights {
-		res.RSS[i] = RSS(s.Probe(m, w))
+		res.RSS[i] = RSS(s.ProbeInto(m, w, csi))
 		res.NumProbe++
 	}
 	res.AirTime = float64(res.NumProbe) * s.Num.SSBDuration()

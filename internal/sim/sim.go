@@ -151,6 +151,10 @@ func (sc *Scenario) ChannelAt(t float64) *channel.Model {
 			m.Paths[i].ExtraLossDB += sc.Fading.at(ids[i], t)
 		}
 	}
+	// Direct Paths mutation: drop any cached per-path state (the snapshot
+	// validation would catch this too; the explicit call documents the
+	// contract).
+	m.InvalidateCache()
 	return m
 }
 
