@@ -18,12 +18,16 @@ import (
 	"mmreliable/internal/antenna"
 	"mmreliable/internal/channel"
 	"mmreliable/internal/cmx"
+	"mmreliable/internal/core/manager"
 	"mmreliable/internal/core/multibeam"
 	"mmreliable/internal/core/superres"
 	"mmreliable/internal/dsp"
 	"mmreliable/internal/env"
 	"mmreliable/internal/experiments"
+	"mmreliable/internal/link"
 	"mmreliable/internal/nr"
+	"mmreliable/internal/scratch"
+	"mmreliable/internal/sim"
 	"mmreliable/internal/stats"
 )
 
@@ -202,6 +206,9 @@ func BenchmarkEffectiveWidebandInto(b *testing.B) {
 	}
 }
 
+// BenchmarkSuperresExtractInto is the frequency-domain fit on a
+// per-worker workspace — the steady-state maintenance-tick cost (0
+// allocs/op, pinned by TestExtractIntoAllocs as well).
 func BenchmarkSuperresExtractInto(b *testing.B) {
 	m := benchChannel()
 	s, err := nr.NewSounder(nr.Mu3(), 400e6, 64, 1e-6, nr.DefaultImpairments(), rand.New(rand.NewSource(2)))
@@ -211,11 +218,45 @@ func BenchmarkSuperresExtractInto(b *testing.B) {
 	w := m.PerAntennaCSI(0).Conj().Normalize()
 	cir := s.CIR(s.Probe(m, w))
 	rel := []float64{0, 8e-9, 15e-9}
+	ws := scratch.New()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := superres.ExtractInto(cir, rel, s.DelayKernelInto, s.SampleSpacing(), superres.DefaultConfig()); err != nil {
+		mk := ws.Mark()
+		if _, err := superres.ExtractInto(cir, rel, s.SampleSpacing(), superres.DefaultConfig(), ws); err != nil {
 			b.Fatal(err)
 		}
+		ws.Release(mk)
+	}
+}
+
+// BenchmarkManagerMaintainTick measures a steady-state maintenance round
+// through the public Step path on an established static indoor link: one
+// CSI-RS probe, OFDM round trip, CIR, frequency-domain super-resolution
+// fit, and tracker observation per iteration (the allocation floor of the
+// inner round is pinned exactly by the manager package's
+// TestMaintainTickAllocs).
+func BenchmarkManagerMaintainTick(b *testing.B) {
+	mcfg := manager.DefaultConfig()
+	mgr, err := manager.New("m", antenna.NewULA(8, 28e9), link.DefaultBudget(), nr.Mu3(), mcfg, rand.New(rand.NewSource(9)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc := sim.StaticIndoor(5)
+	if _, err := (sim.Runner{}).Run(sc, mgr); err != nil {
+		b.Fatal(err)
+	}
+	m := sc.ChannelAt(sc.Duration)
+	t := sc.Duration
+	// Warm: settle any anchor rebuild before measuring.
+	for i := 0; i < 3; i++ {
+		t += mcfg.MaintainPeriod
+		mgr.Step(t, m)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t += mcfg.MaintainPeriod
+		mgr.Step(t, m)
 	}
 }

@@ -16,12 +16,28 @@
 // tables printed to stderr by the harness) are ignored, so the whole
 // `go test -bench` stdout can be piped through unfiltered. Metadata fields
 // (`_goos`, `_pkg`, ...) are copied from the harness preamble when present.
+//
+// Comparison mode flags regressions between two result sets:
+//
+//	go test -bench ... -benchmem -run '^$' . | benchjson -compare BENCH_results.json
+//	benchjson -compare old.json new.json
+//
+// The new side is a positional file or stdin; stdin may be either a JSON
+// map produced by this tool or raw `go test -bench` text (auto-detected).
+// A benchmark regresses when its ns/op grows by more than 15% (shared-CI
+// noise floor) or its allocs/op increases at all. Metadata and archival
+// keys (leading underscore, e.g. `_baseline`) are skipped. The report goes
+// to stdout; with -strict a regression also makes the exit status 1, so CI
+// can choose between an advisory report and a hard gate.
 package main
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strconv"
@@ -37,6 +53,12 @@ type Result struct {
 }
 
 func main() {
+	compare := flag.String("compare", "", "old BENCH_results.json to compare against; new results from a positional file or stdin")
+	strict := flag.Bool("strict", false, "with -compare: exit 1 when a regression is flagged")
+	flag.Parse()
+	if *compare != "" {
+		os.Exit(runCompare(*compare, flag.Arg(0), *strict))
+	}
 	meta := map[string]string{}
 	results := map[string]Result{}
 	sc := bufio.NewScanner(os.Stdin)
@@ -143,4 +165,125 @@ func emit(w *os.File, meta map[string]string, results map[string]Result) error {
 	b.WriteString("}\n")
 	_, err := w.WriteString(b.String())
 	return err
+}
+
+// nsRegressionFrac is the ns/op growth tolerated before a comparison flags
+// a regression: shared CI runners jitter by ~10%, so the gate sits at 15%.
+const nsRegressionFrac = 0.15
+
+// runCompare loads the old results from oldPath and the new results from
+// newPath (or stdin when empty), prints a comparison report, and returns
+// the process exit code: 1 when strict and at least one benchmark
+// regressed, 0 otherwise.
+func runCompare(oldPath, newPath string, strict bool) int {
+	oldRes, err := loadResultsFile(oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 1
+	}
+	var newBytes []byte
+	if newPath != "" {
+		newBytes, err = os.ReadFile(newPath)
+	} else {
+		newBytes, err = io.ReadAll(os.Stdin)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 1
+	}
+	newRes, err := parseResults(newBytes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 1
+	}
+	names := make([]string, 0, len(oldRes))
+	for name := range oldRes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	regressions := 0
+	for _, name := range names {
+		o := oldRes[name]
+		n, ok := newRes[name]
+		if !ok {
+			fmt.Printf("MISSING  %s: present in old results only\n", name)
+			continue
+		}
+		ratio := 0.0
+		if o.NsPerOp > 0 {
+			ratio = n.NsPerOp / o.NsPerOp
+		}
+		slower := o.NsPerOp > 0 && n.NsPerOp > o.NsPerOp*(1+nsRegressionFrac)
+		moreAllocs := o.AllocsPerOp != nil && n.AllocsPerOp != nil && *n.AllocsPerOp > *o.AllocsPerOp
+		switch {
+		case slower || moreAllocs:
+			regressions++
+			detail := ""
+			if moreAllocs {
+				detail = fmt.Sprintf("  allocs %d -> %d", *o.AllocsPerOp, *n.AllocsPerOp)
+			}
+			fmt.Printf("REGRESS  %-36s %12.0f -> %12.0f ns/op (%.2fx)%s\n",
+				name, o.NsPerOp, n.NsPerOp, ratio, detail)
+		case o.NsPerOp > 0 && n.NsPerOp < o.NsPerOp*(1-nsRegressionFrac):
+			fmt.Printf("IMPROVE  %-36s %12.0f -> %12.0f ns/op (%.2fx)\n",
+				name, o.NsPerOp, n.NsPerOp, ratio)
+		default:
+			fmt.Printf("ok       %-36s %12.0f -> %12.0f ns/op (%.2fx)\n",
+				name, o.NsPerOp, n.NsPerOp, ratio)
+		}
+	}
+	if regressions > 0 {
+		fmt.Printf("%d regression(s) (>%.0f%% ns/op or any allocs/op increase)\n",
+			regressions, nsRegressionFrac*100)
+		if strict {
+			return 1
+		}
+		return 0
+	}
+	fmt.Println("no regressions")
+	return 0
+}
+
+// loadResultsFile reads one benchmark-result set from a file.
+func loadResultsFile(path string) (map[string]Result, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return parseResults(b)
+}
+
+// parseResults decodes a result set from either the JSON map this tool
+// emits or raw `go test -bench` text (detected by the leading byte).
+// Metadata and archival keys — anything starting with "_", such as the
+// `_baseline` snapshots kept in the committed BENCH_results.json — are
+// skipped.
+func parseResults(b []byte) (map[string]Result, error) {
+	trimmed := bytes.TrimSpace(b)
+	out := map[string]Result{}
+	if len(trimmed) > 0 && trimmed[0] == '{' {
+		var raw map[string]json.RawMessage
+		if err := json.Unmarshal(trimmed, &raw); err != nil {
+			return nil, fmt.Errorf("parsing results JSON: %w", err)
+		}
+		for k, v := range raw {
+			if strings.HasPrefix(k, "_") {
+				continue
+			}
+			var r Result
+			if err := json.Unmarshal(v, &r); err != nil {
+				return nil, fmt.Errorf("parsing result %q: %w", k, err)
+			}
+			out[k] = r
+		}
+		return out, nil
+	}
+	sc := bufio.NewScanner(bytes.NewReader(b))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		if name, res, ok := parseLine(sc.Text()); ok {
+			out[name] = res
+		}
+	}
+	return out, sc.Err()
 }

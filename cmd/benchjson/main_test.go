@@ -1,0 +1,34 @@
+package main
+
+import "testing"
+
+func TestParseResultsJSONSkipsUnderscoreKeys(t *testing.T) {
+	in := []byte(`{
+"BenchmarkX": {"iterations":5,"ns_per_op":123,"bytes_per_op":8,"allocs_per_op":1},
+"_baseline": {"BenchmarkX": {"ns_per_op":999}},
+"_cpu": "whatever"
+}`)
+	got, err := parseResults(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("got %d results, want 1 (underscore keys skipped)", len(got))
+	}
+	r, ok := got["BenchmarkX"]
+	if !ok || r.NsPerOp != 123 || r.AllocsPerOp == nil || *r.AllocsPerOp != 1 {
+		t.Fatalf("BenchmarkX parsed wrong: %+v", r)
+	}
+}
+
+func TestParseResultsBenchText(t *testing.T) {
+	in := []byte("goos: linux\nBenchmarkY-8   100   456 ns/op   32 B/op   2 allocs/op\nPASS\n")
+	got, err := parseResults(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := got["BenchmarkY"]
+	if !ok || r.NsPerOp != 456 || r.BytesPerOp == nil || *r.BytesPerOp != 32 {
+		t.Fatalf("BenchmarkY parsed wrong: %+v (ok=%v)", r, ok)
+	}
+}

@@ -45,6 +45,17 @@ type Model struct {
 	RxWeights cmx.Vector
 	Paths     []PathState
 
+	// Reuse opts this model into single-goroutine cache recycling: when
+	// set, a cache rebuild overwrites the previous snapshot's backing
+	// arrays in place (including one contiguous steering buffer for all
+	// paths) instead of allocating a fresh immutable snapshot, so the
+	// per-slot mutate→rebuild cycle of a simulation runs allocation-free
+	// in steady state. A Reuse model must NOT be shared across goroutines:
+	// the in-place rebuild would race with concurrent readers of the old
+	// snapshot. Leave false (the default) for any model that parallel
+	// workers might share.
+	Reuse bool
+
 	// epoch is bumped by InvalidateCache; the factored-kernel cache below
 	// is only reused when its epoch matches. Mutators that go around the
 	// cheap per-path snapshot check (e.g. editing RxWeights elements in
@@ -202,6 +213,13 @@ type modelCache struct {
 	coef    []complex128 // amp·e^{jθ}·rxFactor; 0 for dead paths
 	steer   []cmx.Vector // cached a(φ_ℓ), one per path
 	delays  []float64
+	// steerBuf is the contiguous backing of steer when the cache was built
+	// for a Reuse model (nil otherwise): one slab of L·N elements that
+	// in-place rebuilds refill without touching the allocator. rxScratch
+	// is the matching RX-side steering scratch for the per-path receive
+	// factor.
+	steerBuf  []complex128
+	rxScratch cmx.Vector
 }
 
 // valid reports whether c still describes m. The per-path snapshot compare
@@ -258,17 +276,36 @@ func (m *Model) pathCache() *modelCache {
 }
 
 func (m *Model) buildCache() *modelCache {
-	c := &modelCache{
-		epoch:   m.epoch,
-		carrier: m.Band.CarrierHz,
-		tx:      m.Tx,
-		rx:      m.Rx,
-		rxLen:   len(m.RxWeights),
-		snaps:   make([]pathSnap, len(m.Paths)),
-		coef:    make([]complex128, len(m.Paths)),
-		steer:   make([]cmx.Vector, len(m.Paths)),
-		delays:  make([]float64, len(m.Paths)),
+	var c *modelCache
+	nP := len(m.Paths)
+	if m.Reuse {
+		// Single-goroutine model: recycle the previous snapshot's backing
+		// arrays in place. Safe only because Reuse forbids concurrent
+		// readers of the published cache.
+		c = (*modelCache)(atomic.LoadPointer(&m.cache))
 	}
+	if c == nil || cap(c.snaps) < nP || cap(c.steerBuf) < nP*m.Tx.N ||
+		(m.Reuse && c.steerBuf == nil) {
+		c = &modelCache{
+			snaps:  make([]pathSnap, nP),
+			coef:   make([]complex128, nP),
+			steer:  make([]cmx.Vector, nP),
+			delays: make([]float64, nP),
+		}
+		if m.Reuse {
+			c.steerBuf = make([]complex128, nP*m.Tx.N)
+		}
+	}
+	c.snaps = c.snaps[:nP]
+	c.coef = c.coef[:nP]
+	c.steer = c.steer[:nP]
+	c.delays = c.delays[:nP]
+	c.epoch = m.epoch
+	c.carrier = m.Band.CarrierHz
+	c.tx = m.Tx
+	c.rx = m.Rx
+	c.rxHead = nil
+	c.rxLen = len(m.RxWeights)
 	if len(m.RxWeights) > 0 {
 		c.rxHead = &m.RxWeights[0]
 	}
@@ -280,8 +317,24 @@ func (m *Model) buildCache() *modelCache {
 		}
 		c.delays[l] = p.Delay
 		amp := math.Pow(10, -(p.LossDB+p.ExtraLossDB)/20)
-		c.coef[l] = cmplx.Rect(amp, m.carrierPhase(l)) * m.rxFactor(p.AoA)
-		c.steer[l] = m.Tx.Steering(p.AoD)
+		rxf := complex128(1)
+		if m.Rx != nil && m.RxWeights != nil {
+			if c.steerBuf != nil {
+				if cap(c.rxScratch) < m.Rx.N {
+					c.rxScratch = make(cmx.Vector, m.Rx.N)
+				}
+				rxf = m.Rx.SteeringInto(p.AoA, c.rxScratch[:m.Rx.N]).Dot(m.RxWeights)
+			} else {
+				rxf = m.rxFactor(p.AoA)
+			}
+		}
+		c.coef[l] = cmplx.Rect(amp, m.carrierPhase(l)) * rxf
+		if c.steerBuf != nil {
+			n := m.Tx.N
+			c.steer[l] = m.Tx.SteeringInto(p.AoD, c.steerBuf[l*n:(l+1)*n:(l+1)*n])
+		} else {
+			c.steer[l] = m.Tx.Steering(p.AoD)
+		}
 	}
 	return c
 }
@@ -403,6 +456,35 @@ func (m *Model) Clone() *Model {
 		out.RxWeights = m.RxWeights.Clone()
 	}
 	return out
+}
+
+// CopyStateFrom overwrites this model's channel state (band, arrays, UE
+// weights, paths) with src's, reusing the receiver's existing Paths and
+// RxWeights capacity — the steady-state companion of Clone for per-worker
+// persistent models: clone once, then CopyStateFrom every slot without
+// touching the allocator. The receiver's Reuse flag and cache backing are
+// kept (the cache is explicitly invalidated, since in-place RxWeights
+// reuse is invisible to the snapshot check); src is not mutated and its
+// cache is never shared.
+func (m *Model) CopyStateFrom(src *Model) {
+	m.Band = src.Band
+	m.Tx = src.Tx
+	m.Rx = src.Rx
+	if src.RxWeights == nil {
+		m.RxWeights = nil
+	} else {
+		if cap(m.RxWeights) < len(src.RxWeights) {
+			m.RxWeights = make(cmx.Vector, len(src.RxWeights))
+		}
+		m.RxWeights = m.RxWeights[:len(src.RxWeights)]
+		copy(m.RxWeights, src.RxWeights)
+	}
+	if cap(m.Paths) < len(src.Paths) {
+		m.Paths = make([]PathState, len(src.Paths))
+	}
+	m.Paths = m.Paths[:len(src.Paths)]
+	copy(m.Paths, src.Paths)
+	m.InvalidateCache()
 }
 
 // StrongestPath returns the index of the path with the lowest total loss,

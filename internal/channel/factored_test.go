@@ -219,3 +219,84 @@ func TestEffectiveWidebandIntoAllocs(t *testing.T) {
 		t.Fatalf("EffectiveWidebandInto allocates %.1f objects/op, want 0", allocs)
 	}
 }
+
+// TestReuseCacheRecycling pins the Reuse contract: after a path-state
+// mutation, the in-place cache rebuild (a) produces results identical to a
+// fresh non-Reuse model and (b) allocates nothing once warm.
+func TestReuseCacheRecycling(t *testing.T) {
+	u := testArray()
+	fOffs := SubcarrierOffsets(400e6, 64)
+	w := u.SingleBeam(0.1)
+	build := func(reuse bool) *Model {
+		m := Cluster(rand.New(rand.NewSource(7)), env.Band28GHz(), u, DefaultClusterParams())
+		m.Reuse = reuse
+		return m
+	}
+	mr, mf := build(true), build(false)
+	dst := make(cmx.Vector, len(fOffs))
+	ref := make(cmx.Vector, len(fOffs))
+	for i := 0; i < 5; i++ {
+		mr.Paths[0].ExtraLossDB = float64(i) * 3
+		mf.Paths[0].ExtraLossDB = float64(i) * 3
+		mr.Paths[1].ExtraPhase = float64(i) * 0.7
+		mf.Paths[1].ExtraPhase = float64(i) * 0.7
+		mr.EffectiveWidebandInto(w, fOffs, dst)
+		mf.EffectiveWidebandInto(w, fOffs, ref)
+		for k := range dst {
+			if dst[k] != ref[k] {
+				t.Fatalf("iter %d subcarrier %d: reuse %v vs fresh %v", i, k, dst[k], ref[k])
+			}
+		}
+	}
+	// Steady-state mutate→rebuild→evaluate must not allocate.
+	i := 0
+	allocs := testing.AllocsPerRun(100, func() {
+		i++
+		mr.Paths[0].ExtraLossDB = float64(i%7) * 2
+		mr.EffectiveWidebandInto(w, fOffs, dst)
+	})
+	if allocs != 0 {
+		t.Fatalf("Reuse rebuild allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestCopyStateFrom pins that CopyStateFrom mirrors src exactly, reuses the
+// receiver's buffers, and never aliases src's mutable state.
+func TestCopyStateFrom(t *testing.T) {
+	u := testArray()
+	fOffs := SubcarrierOffsets(400e6, 64)
+	w := u.SingleBeam(0.1)
+	src := Cluster(rand.New(rand.NewSource(9)), env.Band28GHz(), u, DefaultClusterParams())
+	src.RxWeights = cmx.Vector{1} // exercise the RxWeights copy
+	src.Rx = antenna.NewULA(1, 28e9)
+
+	dstM := &Model{Reuse: true}
+	dstM.CopyStateFrom(src)
+	got := dstM.EffectiveWideband(w, fOffs)
+	want := src.EffectiveWideband(w, fOffs)
+	for k := range got {
+		if got[k] != want[k] {
+			t.Fatalf("subcarrier %d: copy %v vs src %v", k, got[k], want[k])
+		}
+	}
+	// Mutating the copy must not touch src.
+	before := src.Paths[0].ExtraLossDB
+	dstM.Paths[0].ExtraLossDB += 10
+	if src.Paths[0].ExtraLossDB != before {
+		t.Fatal("CopyStateFrom aliased Paths with src")
+	}
+	dstM.RxWeights[0] = 2
+	if src.RxWeights[0] == 2 {
+		t.Fatal("CopyStateFrom aliased RxWeights with src")
+	}
+	// Steady-state CopyStateFrom + evaluation must not allocate.
+	dstM.CopyStateFrom(src)
+	dstM.EffectiveWidebandInto(w, fOffs, got)
+	allocs := testing.AllocsPerRun(100, func() {
+		dstM.CopyStateFrom(src)
+		dstM.EffectiveWidebandInto(w, fOffs, got)
+	})
+	if allocs != 0 {
+		t.Fatalf("CopyStateFrom steady state allocates %.1f objects/op, want 0", allocs)
+	}
+}

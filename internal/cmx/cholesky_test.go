@@ -1,0 +1,150 @@
+package cmx
+
+import (
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+// randomHPD builds AᴴA + λI for a random tall A, which is Hermitian PD.
+func randomHPD(rng *rand.Rand, n int, lambda float64) *Matrix {
+	a := NewMatrix(2*n, n)
+	for i := range a.Data {
+		a.Data[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	g := a.Gram()
+	for i := 0; i < n; i++ {
+		g.Set(i, i, g.At(i, i)+complex(lambda, 0))
+	}
+	return g
+}
+
+func TestCholeskySolveMatchesGaussian(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 2, 3, 5, 8} {
+		g := randomHPD(rng, n, 1e-3)
+		b := make(Vector, n)
+		for i := range b {
+			b[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		want, err := Solve(g, b)
+		if err != nil {
+			t.Fatalf("n=%d: Solve: %v", n, err)
+		}
+		var ch CholeskyFactor
+		if err := ch.Factor(g); err != nil {
+			t.Fatalf("n=%d: Factor: %v", n, err)
+		}
+		got := ch.SolveInto(make(Vector, n), b)
+		for i := range got {
+			if d := cmplx.Abs(got[i] - want[i]); d > 1e-9 {
+				t.Fatalf("n=%d: x[%d] differs by %g: chol %v vs gauss %v", n, i, d, got[i], want[i])
+			}
+		}
+		// MulVecInto(x) must reproduce b.
+		back := ch.MulVecInto(make(Vector, n), got)
+		for i := range back {
+			if d := cmplx.Abs(back[i] - b[i]); d > 1e-9 {
+				t.Fatalf("n=%d: A·x[%d] = %v, want b = %v (|Δ|=%g)", n, i, back[i], b[i], d)
+			}
+		}
+	}
+}
+
+func TestCholeskySolveInPlace(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n := 4
+	g := randomHPD(rng, n, 1e-2)
+	b := make(Vector, n)
+	for i := range b {
+		b[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	var ch CholeskyFactor
+	if err := ch.Factor(g); err != nil {
+		t.Fatal(err)
+	}
+	want := ch.SolveInto(make(Vector, n), b)
+	got := b.Clone()
+	ch.SolveInto(got, got) // dst aliases b
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("in-place solve differs at %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	// A Hermitian matrix with a negative eigenvalue.
+	m := NewMatrix(2, 2)
+	m.Set(0, 0, 1)
+	m.Set(0, 1, 3)
+	m.Set(1, 0, 3)
+	m.Set(1, 1, 1)
+	var ch CholeskyFactor
+	if err := ch.Factor(m); err != ErrNotPD {
+		t.Fatalf("Factor(indefinite) = %v, want ErrNotPD", err)
+	}
+	// Exactly singular (rank deficient) must also be rejected.
+	s := NewMatrix(2, 2)
+	s.Set(0, 0, 1)
+	s.Set(0, 1, 1)
+	s.Set(1, 0, 1)
+	s.Set(1, 1, 1)
+	if err := ch.Factor(s); err != ErrNotPD {
+		t.Fatalf("Factor(singular) = %v, want ErrNotPD", err)
+	}
+	if err := ch.Factor(NewMatrix(2, 3)); err == nil {
+		t.Fatal("Factor(non-square) should error")
+	}
+}
+
+func TestCholeskyReuseAcrossSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var ch CholeskyFactor
+	for _, n := range []int{6, 3, 6, 2} { // shrink then regrow within cap
+		g := randomHPD(rng, n, 1e-3)
+		if err := ch.Factor(g); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if ch.N() != n {
+			t.Fatalf("N() = %d, want %d", ch.N(), n)
+		}
+		b := make(Vector, n)
+		for i := range b {
+			b[i] = complex(rng.NormFloat64(), 0)
+		}
+		x := ch.SolveInto(make(Vector, n), b)
+		back := ch.MulVecInto(make(Vector, n), x)
+		for i := range back {
+			if d := cmplx.Abs(back[i] - b[i]); d > 1e-9 {
+				t.Fatalf("n=%d after reuse: |Δ|=%g", n, d)
+			}
+		}
+	}
+}
+
+func TestCholeskySteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	n := 5
+	g := randomHPD(rng, n, 1e-3)
+	b := make(Vector, n)
+	for i := range b {
+		b[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	var ch CholeskyFactor
+	if err := ch.Factor(g); err != nil {
+		t.Fatal(err)
+	}
+	dst := make(Vector, n)
+	prod := make(Vector, n)
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := ch.Factor(g); err != nil {
+			t.Fatal(err)
+		}
+		ch.SolveInto(dst, b)
+		ch.MulVecInto(prod, dst)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm Factor+SolveInto+MulVecInto allocates: %v allocs/run", allocs)
+	}
+}

@@ -90,6 +90,22 @@ func (m *Matrix) MulVec(v Vector) Vector {
 	return out
 }
 
+// MulVecInto computes m·v into dst and returns it. dst must have length
+// m.Rows and must not alias v. No allocations.
+func (m *Matrix) MulVecInto(dst, v Vector) Vector {
+	mustSameLen(m.Cols, len(v))
+	mustSameLen(m.Rows, len(dst))
+	for i := 0; i < m.Rows; i++ {
+		var s complex128
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, x := range row {
+			s += x * v[j]
+		}
+		dst[i] = s
+	}
+	return dst
+}
+
 // HmulVec returns mᴴ·v (conjugate transpose times v).
 func (m *Matrix) HmulVec(v Vector) Vector {
 	mustSameLen(m.Rows, len(v))

@@ -29,6 +29,7 @@ import (
 	"mmreliable/internal/link"
 	"mmreliable/internal/nr"
 	"mmreliable/internal/phasedarray"
+	"mmreliable/internal/scratch"
 	"mmreliable/internal/sim"
 )
 
@@ -146,6 +147,19 @@ type Manager struct {
 	wbBuf     cmx.Vector
 	mbScratch cmx.Vector
 	ueScratch cmx.Vector
+	// Maintenance-tick scratch (maintain/ccRefresh run with zero
+	// allocations in steady state): csiBuf/cirBuf hold the probe CSI and
+	// its impulse response, sbBuf one recovery probe's single beam, stsBuf
+	// the tracker statuses, degBuf the delay-degeneracy flags. ws supplies
+	// everything the super-resolution fit needs; it defaults to a private
+	// workspace and is replaced by the per-worker arena via UseWorkspace
+	// under experiments.ParallelTrials.
+	csiBuf cmx.Vector
+	cirBuf cmx.Vector
+	sbBuf  cmx.Vector
+	stsBuf []track.Status
+	degBuf []bool
+	ws     *scratch.Workspace
 
 	// Beam state.
 	angles    []float64 // per-beam steering angles (reference first)
@@ -212,7 +226,22 @@ func New(name string, u *antenna.ULA, budget link.Budget, num nr.Numerology, cfg
 	}
 	mgr.wbBuf = make(cmx.Vector, cfg.NumSC)
 	mgr.mbScratch = make(cmx.Vector, u.N)
+	mgr.csiBuf = make(cmx.Vector, cfg.NumSC)
+	mgr.cirBuf = make(cmx.Vector, cfg.NumSC)
+	mgr.sbBuf = make(cmx.Vector, u.N)
+	mgr.ws = scratch.New()
 	return mgr, nil
+}
+
+// UseWorkspace replaces the manager's private scratch workspace with a
+// shared (typically per-worker) one. The manager only holds checkouts for
+// the duration of one maintenance tick — it marks the workspace on entry
+// and releases on exit — so one workspace can be shared by every manager
+// owned by the same worker goroutine. Must not be called mid-tick.
+func (g *Manager) UseWorkspace(ws *scratch.Workspace) {
+	if ws != nil {
+		g.ws = ws
+	}
 }
 
 // Name implements sim.Scheme.
@@ -338,7 +367,7 @@ func (g *Manager) bindUE(m *channel.Model) {
 // snr returns the wideband effective SNR of the current beam over the true
 // channel (−Inf before establishment).
 func (g *Manager) snr(m *channel.Model) float64 {
-	w := g.fe.Active()
+	w := g.fe.ActiveView() // read-only: EffectiveWidebandInto only reads w
 	if w == nil {
 		return math.Inf(-1)
 	}
@@ -637,12 +666,19 @@ func (g *Manager) applyWeights(t float64) bool {
 	return true
 }
 
-// maintain is the periodic CSI-RS maintenance round.
+// maintain is the periodic CSI-RS maintenance round. It runs with zero
+// allocations in steady state (pinned by TestMaintainTickAllocs): probe,
+// CIR, and super-resolution all work out of manager buffers and the
+// workspace, which is marked on entry and released on exit — the
+// extraction Result dies with the release, so everything the manager
+// keeps (tracker anchors, refreshed magnitudes) is copied out before
+// returning.
 func (g *Manager) maintain(t float64, m *channel.Model) {
-	pr := &boundProber{s: g.sounder, m: m}
-	csi := pr.Probe(g.w)
-	cir := g.sounder.CIR(csi)
-	res, err := superres.ExtractInto(cir, g.relDelays, g.sounder.DelayKernelInto, g.sounder.SampleSpacing(), g.cfg.Superres)
+	mk := g.ws.Mark()
+	defer g.ws.Release(mk)
+	csi := g.sounder.ProbeInto(m, g.w, g.csiBuf)
+	cir := g.sounder.CIRInto(csi, g.cirBuf)
+	res, err := superres.ExtractInto(cir, g.relDelays, g.sounder.SampleSpacing(), g.cfg.Superres, g.ws)
 	if err != nil {
 		g.retrainCause(t, "superres")
 		return
@@ -657,11 +693,12 @@ func (g *Manager) maintain(t float64, m *channel.Model) {
 		g.needAnch = false
 		return
 	}
-	sts, err := g.tracker.Observe(t, res.Power)
+	sts, err := g.tracker.ObserveInto(g.stsBuf, t, res.Power)
 	if err != nil {
 		g.retrainCause(t, "tracker")
 		return
 	}
+	g.stsBuf = sts
 	// Recovery probe: a dropped lobe carries no TX power, so the CIR can
 	// never show it coming back. Probe one blocked beam's single-beam RSS
 	// per round; if it has recovered near its anchor, re-admit it.
@@ -669,7 +706,7 @@ func (g *Manager) maintain(t float64, m *channel.Model) {
 		if g.active[k] {
 			continue
 		}
-		rss := nr.RSS(pr.Probe(g.u.SingleBeam(g.angles[k])))
+		rss := nr.RSS(g.sounder.ProbeInto(m, g.u.SingleBeamInto(g.angles[k], g.sbBuf), g.csiBuf))
 		if rss >= g.rssAnchor[k]*dsp.FromDB(-3) {
 			g.active[k] = true
 			if g.applyWeights(t) {
@@ -749,9 +786,10 @@ func (g *Manager) maintain(t float64, m *channel.Model) {
 // phases are updated (amplitude re-weighting waits for a full refinement so
 // the tracker's per-beam power anchors stay valid).
 func (g *Manager) ccRefresh(t float64, m *channel.Model) {
-	pr := &boundProber{s: g.sounder, m: m}
-	csi := pr.Probe(g.w)
-	res, err := superres.ExtractInto(g.sounder.CIR(csi), g.relDelays, g.sounder.DelayKernelInto, g.sounder.SampleSpacing(), g.cfg.Superres)
+	mk := g.ws.Mark()
+	defer g.ws.Release(mk)
+	csi := g.sounder.ProbeInto(m, g.w, g.csiBuf)
+	res, err := superres.ExtractInto(g.sounder.CIRInto(csi, g.cirBuf), g.relDelays, g.sounder.SampleSpacing(), g.cfg.Superres, g.ws)
 	if err != nil {
 		return // transient: the next maintenance round will deal with it
 	}
@@ -794,9 +832,17 @@ func (g *Manager) ccRefresh(t float64, m *channel.Model) {
 // large fraction of the sounder resolution to another active beam: the CIR
 // fit cannot split amplitude (hence phase) between such pairs, so their
 // per-beam complex amplitudes are not trustworthy for phase updates.
+// The returned slice is the manager's reused degBuf — valid until the
+// next call.
 func (g *Manager) delayDegenerate() []bool {
 	const minSepS = 1.0e-9
-	out := make([]bool, len(g.beams))
+	if cap(g.degBuf) < len(g.beams) {
+		g.degBuf = make([]bool, len(g.beams))
+	}
+	out := g.degBuf[:len(g.beams)]
+	for i := range out {
+		out[i] = false
+	}
 	for a := range g.beams {
 		for b := a + 1; b < len(g.beams); b++ {
 			if g.active[a] && g.active[b] && math.Abs(g.relDelays[a]-g.relDelays[b]) < minSepS {

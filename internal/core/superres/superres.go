@@ -72,35 +72,76 @@ type Result struct {
 // The CIR is circularly aligned so its strongest tap sits at index 0, then
 // a grid of base delays around 0 is searched; at each candidate the ridge
 // system (Eq. 23) is solved and the best-residual solution wins.
+//
+// Extract probes the supplied kernel once against the closed-form delay
+// kernel: when it matches (the sounder's DelayKernel — every known
+// caller), the whole fit runs through the frequency-domain solver of
+// ExtractInto and the kernel is never called again, so legacy callers no
+// longer pay one fresh dictionary column per alignment candidate. A
+// non-delay kernel falls back to the direct time-domain solver
+// ExtractKernel (whose per-candidate allocations are then inherent to the
+// allocating KernelFunc signature).
 func Extract(cir cmx.Vector, relDelays []float64, kernel KernelFunc, sampleSpacing float64, cfg Config) (Result, error) {
-	return ExtractInto(cir, relDelays, func(tau float64, _ cmx.Vector) cmx.Vector {
+	if err := validate(cir, relDelays, sampleSpacing); err != nil {
+		return Result{}, err
+	}
+	if isDelayKernel(kernel, 1/sampleSpacing, len(cir)) {
+		return ExtractInto(cir, relDelays, sampleSpacing, cfg, nil)
+	}
+	return ExtractKernel(cir, relDelays, func(tau float64, _ cmx.Vector) cmx.Vector {
 		return kernel(tau)
 	}, sampleSpacing, cfg)
 }
 
-// ExtractInto is Extract for scratch-reusing kernels: every dictionary
-// evaluation of the alignment search runs through one reused column buffer
-// instead of allocating a fresh vector per candidate delay. Pass
-// nr.(*Sounder).DelayKernelInto (or any KernelIntoFunc that honors its dst
-// argument).
-func ExtractInto(cir cmx.Vector, relDelays []float64, kernel KernelIntoFunc, sampleSpacing float64, cfg Config) (Result, error) {
-	if len(cir) == 0 {
-		return Result{}, fmt.Errorf("superres: empty CIR")
+// isDelayKernel reports whether kernel is the pure-delay (sounder)
+// kernel, by spot-checking one probe column at a fractional delay against
+// the closed form.
+func isDelayKernel(kernel KernelFunc, bw float64, n int) bool {
+	const probeSamples = 0.37 // arbitrary fractional, non-degenerate delay
+	probe := probeSamples / bw
+	col := kernel(probe)
+	if len(col) != n {
+		return false
 	}
-	if len(relDelays) == 0 {
-		return Result{}, fmt.Errorf("superres: no relative delays")
+	for _, i := range [...]int{0, 1, n / 2, n - 1} {
+		i %= n
+		if i < 0 {
+			i += n
+		}
+		if cmplx.Abs(col[i]-delayKernelTap(bw, n, probe, i)) > 1e-9 {
+			return false
+		}
 	}
-	if relDelays[0] != 0 {
-		return Result{}, fmt.Errorf("superres: relDelays[0] must be 0, got %g", relDelays[0])
+	return true
+}
+
+// delayKernelTap evaluates a single tap of the closed-form delay kernel
+// (see delayKernelInto).
+func delayKernelTap(bw float64, n int, tau float64, i int) complex128 {
+	nf := float64(n)
+	bTau := bw * tau
+	lead := cmplx.Exp(complex(0, -2*math.Pi*(-bw/2+bw/(2*nf))*tau))
+	scale := complex(1/nf, 0)
+	rho := cmplx.Exp(complex(0, 2*math.Pi*float64(i)/nf-2*math.Pi*bTau/nf))
+	den := rho - 1
+	if cmplx.Abs(den) < 1e-12 {
+		return lead * scale * complex(nf, 0)
 	}
-	// Non-reference delays may be negative (a path can arrive before the
-	// strongest one): the CIR is circular, so the dictionary kernel simply
-	// wraps.
-	if len(relDelays) > len(cir) {
-		return Result{}, fmt.Errorf("superres: more paths (%d) than CIR taps (%d)", len(relDelays), len(cir))
-	}
-	if sampleSpacing <= 0 {
-		return Result{}, fmt.Errorf("superres: non-positive sample spacing")
+	num := cmplx.Exp(complex(0, -2*math.Pi*bTau)) - 1
+	return lead * scale * (num / den)
+}
+
+// ExtractKernel is the direct time-domain solver for arbitrary dictionary
+// kernels: every candidate correlation synthesizes the dictionary column
+// kernel(base+rel_k) through one reused scratch buffer and inner-products
+// it against the aligned CIR. It is the reference implementation the
+// frequency-domain ExtractInto is pinned against (within 1e-12; see
+// TestFreqDomainMatchesTimeDomain) and the fallback for kernels that are
+// not a pure delay. Hot-path callers with the standard sounder kernel
+// should use ExtractInto instead.
+func ExtractKernel(cir cmx.Vector, relDelays []float64, kernel KernelIntoFunc, sampleSpacing float64, cfg Config) (Result, error) {
+	if err := validate(cir, relDelays, sampleSpacing); err != nil {
+		return Result{}, err
 	}
 	// Align: rotate the strongest tap to index 0. The unknown absolute ToF
 	// then lives within ± a fraction of a sample, covered by the search.

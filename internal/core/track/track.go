@@ -113,14 +113,25 @@ func (tr *Tracker) NumBeams() int { return len(tr.bs) }
 // super-resolution) taken at time t into the tracker and returns the
 // per-beam statuses.
 func (tr *Tracker) Observe(t float64, powers []float64) ([]Status, error) {
+	return tr.ObserveInto(nil, t, powers)
+}
+
+// ObserveInto is Observe writing the per-beam statuses into dst
+// (allocated when nil or too short), so the maintenance tick can fold an
+// observation without allocating. The powers slice is only read during
+// the call — the tracker never retains it.
+func (tr *Tracker) ObserveInto(dst []Status, t float64, powers []float64) ([]Status, error) {
 	if len(powers) != len(tr.bs) {
 		return nil, fmt.Errorf("track: %d powers for %d beams", len(powers), len(tr.bs))
 	}
-	out := make([]Status, len(powers))
-	for k := range powers {
-		out[k] = tr.observeBeam(k, t, powers[k])
+	if cap(dst) < len(powers) {
+		dst = make([]Status, len(powers))
 	}
-	return out, nil
+	dst = dst[:len(powers)]
+	for k := range powers {
+		dst[k] = tr.observeBeam(k, t, powers[k])
+	}
+	return dst, nil
 }
 
 func (tr *Tracker) observeBeam(k int, t, power float64) Status {
@@ -134,8 +145,13 @@ func (tr *Tracker) observeBeam(k int, t, power float64) Status {
 	b.times = append(b.times, t)
 	b.powers = append(b.powers, smooth)
 	if len(b.times) > tr.cfg.HistoryLen {
-		b.times = b.times[1:]
-		b.powers = b.powers[1:]
+		// Trim by copying down instead of re-slicing forward: the backing
+		// arrays then stabilize at HistoryLen+1 and the appends above stop
+		// allocating (the maintenance tick is pinned to zero allocations).
+		copy(b.times, b.times[1:])
+		b.times = b.times[:len(b.times)-1]
+		copy(b.powers, b.powers[1:])
+		b.powers = b.powers[:len(b.powers)-1]
 	}
 	drop := b.anchorDB - smooth
 

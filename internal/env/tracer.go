@@ -3,7 +3,6 @@ package env
 import (
 	"fmt"
 	"math"
-	"sort"
 )
 
 // Material describes how a wall interacts with an mmWave signal. Losses are
@@ -93,7 +92,18 @@ func NewEnvironment(band Band, walls ...Wall) *Environment {
 // non-nil slice: if every path is occluded beyond recovery the result is
 // empty.
 func (e *Environment) Trace(tx, rx Pose) []Path {
-	var paths []Path
+	return e.TraceAppend(nil, tx, rx)
+}
+
+// TraceAppend is Trace appending onto dst (usually dst[:0] of a slice kept
+// across simulation slots), so per-slot ray tracing reuses one backing
+// array instead of growing a fresh one. The appended section is sorted by
+// increasing loss with an insertion sort — path counts are single-digit,
+// and it avoids sort.Slice's closure and reflect-based swapper on the
+// per-slot path.
+func (e *Environment) TraceAppend(dst []Path, tx, rx Pose) []Path {
+	start := len(dst)
+	paths := dst
 	// LOS path.
 	if p, ok := e.losPath(tx, rx); ok {
 		paths = append(paths, p)
@@ -123,9 +133,18 @@ func (e *Environment) Trace(tx, rx Pose) []Path {
 			}
 		}
 	}
-	sort.Slice(paths, func(i, j int) bool { return paths[i].LossDB < paths[j].LossDB })
-	if e.MaxPaths > 0 && len(paths) > e.MaxPaths {
-		paths = paths[:e.MaxPaths]
+	s := paths[start:]
+	for i := 1; i < len(s); i++ {
+		p := s[i]
+		j := i - 1
+		for j >= 0 && s[j].LossDB > p.LossDB {
+			s[j+1] = s[j]
+			j--
+		}
+		s[j+1] = p
+	}
+	if e.MaxPaths > 0 && len(s) > e.MaxPaths {
+		paths = paths[:start+e.MaxPaths]
 	}
 	return paths
 }

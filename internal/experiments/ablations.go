@@ -12,6 +12,7 @@ import (
 	"mmreliable/internal/events"
 	"mmreliable/internal/link"
 	"mmreliable/internal/nr"
+	"mmreliable/internal/scratch"
 	"mmreliable/internal/sim"
 	"mmreliable/internal/stats"
 )
@@ -57,7 +58,7 @@ func AblationQuantization(cfg Config) *stats.Table {
 	t := stats.NewTable("Ablation A1 — multi-beam SNR loss vs weight quantization",
 		"quantizer", "mean_snr_dB", "loss_vs_ideal_dB")
 	runs := cfg.runs(150)
-	perTrial := ParallelTrials(cfg, labelAblationA1, runs, func(_ int, rng *rand.Rand) []float64 {
+	perTrial := ParallelTrials(cfg, labelAblationA1, runs, func(_ int, rng *rand.Rand, _ *scratch.Workspace) []float64 {
 		m := channel.Cluster(rng, env.Band28GHz(), u, params)
 		var beams []multibeam.Beam
 		for k := range m.Paths {
@@ -104,7 +105,7 @@ func AblationMaintenancePeriod(cfg Config) *stats.Table {
 		// The trial stream depends only on the trial index (the label is
 		// shared across cadences), so every cadence replays the same
 		// scenario draws — the controlled sweep the ablation needs.
-		res := ParallelTrials(cfg, labelAblationA2, runs, func(_ int, rng *rand.Rand) outcome {
+		res := ParallelTrials(cfg, labelAblationA2, runs, func(_ int, rng *rand.Rand, ws *scratch.Workspace) outcome {
 			scenSeed := subSeed(rng)
 			mcfg := manager.DefaultConfig()
 			mcfg.MaintainPeriod = periodMs * 1e-3
@@ -112,6 +113,7 @@ func AblationMaintenancePeriod(cfg Config) *stats.Table {
 			if err != nil {
 				panic(err)
 			}
+			mgr.UseWorkspace(ws)
 			out, err := sim.Runner{Warmup: sim.StandardWarmup}.Run(sim.ThinMarginOutdoor(scenSeed), mgr)
 			if err != nil {
 				panic(err)
@@ -142,7 +144,7 @@ func AblationCorrelatedBlockage(cfg Config) *stats.Table {
 	type outcome struct{ mm, re float64 }
 	for _, prob := range []float64{0, 0.5, 1.0} {
 		prob := prob
-		res := ParallelTrials(cfg, labelAblationA3, runs, func(_ int, rng *rand.Rand) outcome {
+		res := ParallelTrials(cfg, labelAblationA3, runs, func(_ int, rng *rand.Rand, ws *scratch.Workspace) outcome {
 			scenSeed := subSeed(rng)
 			genSeed := subSeed(rng)
 			mgrRng := subRNG(rng)
@@ -170,6 +172,7 @@ func AblationCorrelatedBlockage(cfg Config) *stats.Table {
 			if err != nil {
 				panic(err)
 			}
+			mgr.UseWorkspace(ws)
 			rc, err := baselines.NewSingleBeamReactive(antenna.NewULA(8, 28e9), budget, nr.Mu3(),
 				baselines.DefaultOptions(), rcRng)
 			if err != nil {
@@ -208,13 +211,14 @@ func AblationCCRefresh(cfg Config) *stats.Table {
 	// One independent trial per cadence; every arm reuses the stream
 	// cfg.rng(904) and scenario seed the serial version used, so the sweep
 	// stays controlled and the table byte-identical.
-	rows := ParallelTrials(cfg, labelAblationA4, len(cadences), func(trial int, _ *rand.Rand) link.Summary {
+	rows := ParallelTrials(cfg, labelAblationA4, len(cadences), func(trial int, _ *rand.Rand, ws *scratch.Workspace) link.Summary {
 		mcfg := manager.DefaultConfig()
 		mcfg.CCRefreshPeriod = cadences[trial] * 1e-3
 		mgr, err := manager.New("m", antenna.NewULA(8, 28e9), budget, nr.Mu3(), mcfg, cfg.rng(904))
 		if err != nil {
 			panic(err)
 		}
+		mgr.UseWorkspace(ws)
 		out, err := sim.Runner{Warmup: sim.StandardWarmup}.Run(sim.SmallSpreadMobile(cfg.Seed), mgr)
 		if err != nil {
 			panic(err)
@@ -239,7 +243,7 @@ func AblationTrainingMethod(cfg Config) *stats.Table {
 		summary      link.Summary
 	}
 	methods := []bool{false, true} // exhaustive, hierarchical
-	rows := ParallelTrials(cfg, labelAblationA5, len(methods), func(trial int, _ *rand.Rand) outcome {
+	rows := ParallelTrials(cfg, labelAblationA5, len(methods), func(trial int, _ *rand.Rand, ws *scratch.Workspace) outcome {
 		hier := methods[trial]
 		name := "exhaustive"
 		if hier {
@@ -251,6 +255,7 @@ func AblationTrainingMethod(cfg Config) *stats.Table {
 		if err != nil {
 			panic(err)
 		}
+		mgr.UseWorkspace(ws)
 		sc := sim.StaticIndoor(cfg.Seed)
 		sc.Duration = 0.4
 		out, err := sim.Runner{Warmup: 0.05}.Run(sc, mgr)

@@ -14,6 +14,7 @@ import (
 	"mmreliable/internal/link"
 	"mmreliable/internal/motion"
 	"mmreliable/internal/nr"
+	"mmreliable/internal/scratch"
 	"mmreliable/internal/sim"
 	"mmreliable/internal/stats"
 )
@@ -36,7 +37,7 @@ func ExtensionIRS(cfg Config) *stats.Table {
 	// One independent trial per IRS gain. Each arm rebuilds the fading and
 	// manager streams from the same cfg labels the serial loop used, so the
 	// sweep is controlled and byte-identical at any worker count.
-	rows := ParallelTrials(cfg, labelExtIRS, len(gains), func(trial int, _ *rand.Rand) outcome {
+	rows := ParallelTrials(cfg, labelExtIRS, len(gains), func(trial int, _ *rand.Rand, ws *scratch.Workspace) outcome {
 		gain := gains[trial]
 		// A 40 m link with no natural reflector at all. The IRS sits
 		// halfway, 2 m off the line (sub-ns excess delay, so its lobe
@@ -61,6 +62,7 @@ func ExtensionIRS(cfg Config) *stats.Table {
 		if err != nil {
 			panic(err)
 		}
+		mgr.UseWorkspace(ws)
 		out, err := sim.Runner{Warmup: sim.StandardWarmup}.Run(sc, mgr)
 		if err != nil {
 			panic(err)
@@ -222,7 +224,7 @@ func ExtensionHandover(cfg Config) *stats.Table {
 	// Both schemes previously seeded from the SAME ad-hoc source
 	// (cfg.Seed+961), i.e. a shared RNG stream; the runner now hands each
 	// trial its own derived stream. The two replays shard across workers.
-	rows := ParallelTrials(cfg, labelExtHandover, 2, func(trial int, rng *rand.Rand) outcome {
+	rows := ParallelTrials(cfg, labelExtHandover, 2, func(trial int, rng *rand.Rand, ws *scratch.Workspace) outcome {
 		runner := sim.Runner{}
 		if trial == 0 {
 			ctrl, err := handover.New("handover", 2, antenna.NewULA(8, 28e9), budget, nr.Mu3(),
@@ -241,6 +243,7 @@ func ExtensionHandover(cfg Config) *stats.Table {
 		if err != nil {
 			panic(err)
 		}
+		mgr.UseWorkspace(ws)
 		out, err := runner.RunMulti(mk(), sim.Pinned{Scheme: mgr, GNB: 0})
 		if err != nil {
 			panic(err)

@@ -14,6 +14,7 @@ import (
 	"mmreliable/internal/env"
 	"mmreliable/internal/link"
 	"mmreliable/internal/nr"
+	"mmreliable/internal/scratch"
 	"mmreliable/internal/stats"
 )
 
@@ -176,7 +177,7 @@ func Fig15dOracleGap(cfg Config) *stats.Table {
 		g2, g3, gSplit, gOracle float64
 		ok2, ok3, okS, okO      bool
 	}
-	trials := ParallelTrials(cfg, labelFig15d, cfg.runs(200), func(_ int, rng *rand.Rand) trial {
+	trials := ParallelTrials(cfg, labelFig15d, cfg.runs(200), func(_ int, rng *rand.Rand, _ *scratch.Workspace) trial {
 		m := channel.Cluster(rng, env.Band28GHz(), u, params)
 		// Order paths strongest first, as beam training would find them.
 		sortPathsByLoss(m)

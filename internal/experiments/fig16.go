@@ -8,6 +8,7 @@ import (
 	"mmreliable/internal/core/manager"
 	"mmreliable/internal/link"
 	"mmreliable/internal/nr"
+	"mmreliable/internal/scratch"
 	"mmreliable/internal/sim"
 	"mmreliable/internal/stats"
 )
@@ -23,11 +24,16 @@ func Fig16Blockage(cfg Config) *stats.Table {
 	// they shard across the trial runner; each builds its scheme from its
 	// own derived RNG stream (previously the reactive baseline seeded
 	// ad hoc from cfg.Seed+161, which could collide with other streams).
-	outs := ParallelTrials(cfg, labelFig16, 2, func(trial int, rng *rand.Rand) map[string]sim.Result {
+	outs := ParallelTrials(cfg, labelFig16, 2, func(trial int, rng *rand.Rand, ws *scratch.Workspace) map[string]sim.Result {
 		var scheme sim.Scheme
 		var err error
 		if trial == 0 {
-			scheme, err = manager.New("mmreliable", antenna.NewULA(8, 28e9), budget, nr.Mu3(), manager.DefaultConfig(), rng)
+			var mgr *manager.Manager
+			mgr, err = manager.New("mmreliable", antenna.NewULA(8, 28e9), budget, nr.Mu3(), manager.DefaultConfig(), rng)
+			if mgr != nil {
+				mgr.UseWorkspace(ws)
+			}
+			scheme = mgr
 		} else {
 			scheme, err = baselines.NewSingleBeamReactive(antenna.NewULA(8, 28e9), budget, nr.Mu3(), baselines.DefaultOptions(), rng)
 		}

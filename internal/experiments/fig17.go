@@ -13,6 +13,7 @@ import (
 	"mmreliable/internal/env"
 	"mmreliable/internal/link"
 	"mmreliable/internal/nr"
+	"mmreliable/internal/scratch"
 	"mmreliable/internal/sim"
 	"mmreliable/internal/stats"
 )
@@ -84,7 +85,7 @@ func Fig17bTrackingAccuracy(cfg Config) *stats.Table {
 	for degIdx, trueDeg := range []float64{2, 4, 6, 8} {
 		trueDeg := trueDeg
 		type est struct{ los, nlos float64 }
-		ests := ParallelTrials(cfg, labelFig17b*10+int64(degIdx), trials, func(_ int, rng *rand.Rand) est {
+		ests := ParallelTrials(cfg, labelFig17b*10+int64(degIdx), trials, func(_ int, rng *rand.Rand, _ *scratch.Workspace) est {
 			tr, err := track.New(u, tcfg, []float64{1e-8, 2.5e-9})
 			if err != nil {
 				panic(err)
@@ -139,7 +140,7 @@ func Fig17cTrackingThroughput(cfg Config) *stats.Table {
 	// stream (the pre-port behavior: each run called cfg.rng(173) afresh)
 	// so the comparison stays controlled; the arms are independent, so they
 	// shard across the worker pool.
-	sums := ParallelTrials(cfg, labelFig17c, len(variants), func(trial int, _ *rand.Rand) link.Summary {
+	sums := ParallelTrials(cfg, labelFig17c, len(variants), func(trial int, _ *rand.Rand, ws *scratch.Workspace) link.Summary {
 		v := variants[trial]
 		mcfg := manager.DefaultConfig()
 		mcfg.ProactiveTracking = v.tracking
@@ -148,6 +149,7 @@ func Fig17cTrackingThroughput(cfg Config) *stats.Table {
 		if err != nil {
 			panic(err)
 		}
+		mgr.UseWorkspace(ws)
 		sc := sim.SmallSpreadMobile(cfg.Seed) // mobility only, no blocker
 		out, err := sim.Runner{Warmup: sim.StandardWarmup}.Run(sc, mgr)
 		if err != nil {

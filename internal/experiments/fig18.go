@@ -10,6 +10,7 @@ import (
 	"mmreliable/internal/events"
 	"mmreliable/internal/link"
 	"mmreliable/internal/nr"
+	"mmreliable/internal/scratch"
 	"mmreliable/internal/sim"
 	"mmreliable/internal/stats"
 )
@@ -20,7 +21,9 @@ var fig18SchemeNames = []string{"mmreliable", "beamspy", "reactive", "widebeam"}
 // fig18Scheme builds one named scheme from its own RNG stream. Every
 // scheme gets a private generator (derived per trial by the runner), so no
 // two schemes — and no two concurrent trials — ever share a *rand.Rand.
-func fig18Scheme(name string, budget link.Budget, withTracking bool, rng *rand.Rand) sim.Scheme {
+// ws, when non-nil, is the worker's scratch arena handed to schemes that
+// can use one (the manager's super-resolution fits).
+func fig18Scheme(name string, budget link.Budget, withTracking bool, rng *rand.Rand, ws *scratch.Workspace) sim.Scheme {
 	u := antenna.NewULA(8, 28e9)
 	var s sim.Scheme
 	var err error
@@ -28,7 +31,12 @@ func fig18Scheme(name string, budget link.Budget, withTracking bool, rng *rand.R
 	case "mmreliable":
 		mcfg := manager.DefaultConfig()
 		mcfg.ProactiveTracking = withTracking
-		s, err = manager.New(name, u, budget, nr.Mu3(), mcfg, rng)
+		var mgr *manager.Manager
+		mgr, err = manager.New(name, u, budget, nr.Mu3(), mcfg, rng)
+		if mgr != nil {
+			mgr.UseWorkspace(ws)
+		}
+		s = mgr
 	case "reactive":
 		s, err = baselines.NewSingleBeamReactive(u, budget, nr.Mu3(), baselines.DefaultOptions(), rng)
 	case "beamspy":
@@ -58,7 +66,7 @@ func Fig18aStaticBlockage(cfg Config) *stats.Table {
 	// One trial per (blocker count, scheme) cell; all 9 cells are
 	// independent replays, sharded across the worker pool.
 	cells := ParallelTrials(cfg, labelFig18a, len(blockerCounts)*len(schemes),
-		func(trial int, rng *rand.Rand) float64 {
+		func(trial int, rng *rand.Rand, ws *scratch.Workspace) float64 {
 			blockers := blockerCounts[trial/len(schemes)]
 			name := schemes[trial%len(schemes)]
 			sc := sim.StaticIndoor(cfg.Seed)
@@ -72,7 +80,7 @@ func Fig18aStaticBlockage(cfg Config) *stats.Table {
 				})
 			}
 			sc.Blockage = sched
-			out, err := sim.Runner{Warmup: sim.StandardWarmup}.Run(sc, fig18Scheme(name, budget, false, rng))
+			out, err := sim.Runner{Warmup: sim.StandardWarmup}.Run(sc, fig18Scheme(name, budget, false, rng, ws))
 			if err != nil {
 				panic(err)
 			}
@@ -110,12 +118,12 @@ func fig18EnsembleUncached(cfg Config) map[string][]link.Summary {
 	// realizations (the controlled comparison the figure needs), while each
 	// cell's scheme draws from its own derived stream.
 	cells := ParallelTrials(cfg, labelFig18Ensemble, runs*nSchemes,
-		func(trial int, rng *rand.Rand) link.Summary {
+		func(trial int, rng *rand.Rand, ws *scratch.Workspace) link.Summary {
 			run := trial / nSchemes
 			name := fig18SchemeNames[trial%nSchemes]
 			scenarioSeed := cfg.trialSeed(labelFig18Scenario, run)
 			out, err := sim.Runner{Warmup: sim.StandardWarmup}.Run(
-				sim.ThinMarginOutdoor(scenarioSeed), fig18Scheme(name, budget, true, rng))
+				sim.ThinMarginOutdoor(scenarioSeed), fig18Scheme(name, budget, true, rng, ws))
 			if err != nil {
 				panic(err)
 			}

@@ -9,6 +9,7 @@ import (
 	"mmreliable/internal/core/multibeam"
 	"mmreliable/internal/env"
 	"mmreliable/internal/link"
+	"mmreliable/internal/scratch"
 	"mmreliable/internal/stats"
 )
 
@@ -84,7 +85,7 @@ func fig19Throughputs(cfg Config, band env.Band) (single, multi float64) {
 	// identical fade realizations, keeping the band comparison controlled.
 	steps := cfg.runs(400)
 	type rates struct{ s, m float64 }
-	res := ParallelTrials(cfg, labelFig19, steps, func(i int, rng *rand.Rand) rates {
+	res := ParallelTrials(cfg, labelFig19, steps, func(i int, rng *rand.Rand, _ *scratch.Workspace) rates {
 		mm := m.Clone()
 		for k := range mm.Paths {
 			mm.Paths[k].ExtraLossDB += 1.0 * rng.NormFloat64()

@@ -5,6 +5,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"mmreliable/internal/scratch"
 )
 
 // This file is the deterministic parallel experiment engine: every
@@ -103,7 +105,14 @@ func (c Config) workers() int {
 // any worker count — Workers only changes wall-clock time. fn must not
 // share mutable state across calls (each trial builds its own schemes,
 // scenarios, and generators).
-func ParallelTrials[T any](cfg Config, label int64, n int, fn func(trial int, rng *rand.Rand) T) []T {
+//
+// Workspace contract: fn additionally receives the worker's scratch arena,
+// Reset before every trial. Trials on the same worker reuse one warm arena,
+// so the per-trial DSP hot paths (super-resolution fits, manager
+// maintenance) run allocation-free after the first trial. Checkouts are
+// zeroed, so arena reuse cannot leak state between trials — determinism is
+// untouched. fn must not retain workspace-backed slices past its return.
+func ParallelTrials[T any](cfg Config, label int64, n int, fn func(trial int, rng *rand.Rand, ws *scratch.Workspace) T) []T {
 	if n <= 0 {
 		return nil
 	}
@@ -113,8 +122,10 @@ func ParallelTrials[T any](cfg Config, label int64, n int, fn func(trial int, rn
 		w = n
 	}
 	if w <= 1 {
+		ws := scratch.New()
 		for i := range out {
-			out[i] = fn(i, cfg.trialRNG(label, i))
+			ws.Reset()
+			out[i] = fn(i, cfg.trialRNG(label, i), ws)
 		}
 		return out
 	}
@@ -124,12 +135,14 @@ func ParallelTrials[T any](cfg Config, label int64, n int, fn func(trial int, rn
 	for k := 0; k < w; k++ {
 		go func() {
 			defer wg.Done()
+			ws := scratch.New()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				out[i] = fn(i, cfg.trialRNG(label, i))
+				ws.Reset()
+				out[i] = fn(i, cfg.trialRNG(label, i), ws)
 			}
 		}()
 	}

@@ -3,6 +3,8 @@ package experiments
 import (
 	"math/rand"
 	"testing"
+
+	"mmreliable/internal/scratch"
 )
 
 // TestTrialSeedsDistinct asserts that no two (experiment label, trial)
@@ -59,7 +61,10 @@ func TestTrialStreamsDecorrelated(t *testing.T) {
 // results are identical for any worker count, and each slot matches the
 // direct (seed, label, trial) derivation.
 func TestParallelTrialsDeterministic(t *testing.T) {
-	fn := func(trial int, rng *rand.Rand) float64 {
+	fn := func(trial int, rng *rand.Rand, ws *scratch.Workspace) float64 {
+		if ws == nil {
+			t.Fatal("trial received a nil workspace")
+		}
 		return float64(trial) + rng.Float64()
 	}
 	const n = 100
@@ -76,7 +81,7 @@ func TestParallelTrialsDeterministic(t *testing.T) {
 	}
 	// Slot i must equal the direct derivation, independent of scheduling.
 	for i := 0; i < n; i++ {
-		direct := fn(i, base.trialRNG(999, i))
+		direct := fn(i, base.trialRNG(999, i), scratch.New())
 		if want[i] != direct {
 			t.Fatalf("trial %d result %g != direct derivation %g", i, want[i], direct)
 		}

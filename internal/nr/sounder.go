@@ -192,14 +192,26 @@ func RSS(csi cmx.Vector) float64 {
 // inverse FFT. Index n corresponds to delay n/Bandwidth (modulo the CIR
 // span); the super-resolution module fits sinc kernels to this.
 func (s *Sounder) CIR(csi cmx.Vector) cmx.Vector {
+	return s.CIRInto(csi, make(cmx.Vector, s.NumSC))
+}
+
+// CIRInto is CIR writing into dst (allocated when nil) — the maintenance
+// loop's zero-allocation variant. dst must not alias csi.
+func (s *Sounder) CIRInto(csi, dst cmx.Vector) cmx.Vector {
 	if len(csi) != s.NumSC {
 		panic(fmt.Sprintf("nr: CIR length %d != %d subcarriers", len(csi), s.NumSC))
 	}
-	td := csi.Clone()
-	if err := dsp.IFFT(td); err != nil {
+	if dst == nil {
+		dst = make(cmx.Vector, s.NumSC)
+	}
+	if len(dst) != s.NumSC {
+		panic(fmt.Sprintf("nr: CIR dst length %d != %d subcarriers", len(dst), s.NumSC))
+	}
+	copy(dst, csi)
+	if err := dsp.IFFT(dst); err != nil {
 		panic(err)
 	}
-	return td
+	return dst
 }
 
 // SampleSpacing returns the delay resolution of the CIR (1/Bandwidth), the
@@ -237,17 +249,24 @@ func (s *Sounder) DelayKernelInto(tau float64, dst cmx.Vector) cmx.Vector {
 	bTau := s.BandwidthHz * tau
 	lead := cmplx.Exp(complex(0, -2*math.Pi*(-s.BandwidthHz/2+s.BandwidthHz/(2*float64(n)))*tau))
 	num := cmplx.Exp(complex(0, -2*math.Pi*bTau)) - 1
-	scale := complex(1/float64(n), 0)
+	ls := lead * complex(1/float64(n), 0)
+	lsn := ls * num
 	// ρ_n advances by a fixed rotation per tap; one exp seeds the
 	// recurrence (64 steps accumulate negligible drift).
 	step := cmplx.Exp(complex(0, 2*math.Pi/float64(n)))
 	rho := cmplx.Exp(complex(0, -2*math.Pi*bTau/float64(n)))
 	for i := 0; i < n; i++ {
 		den := rho - 1
-		if cmplx.Abs(den) < 1e-12 {
-			out[i] = lead * scale * complex(float64(n), 0)
+		// |den|² < (1e-12)²: same degenerate-ratio branch as an abs
+		// check, without the hypot; the ratio itself multiplies by the
+		// conjugate reciprocal instead of paying a complex division per
+		// tap (this kernel runs once per super-resolution compat probe).
+		d := real(den)*real(den) + imag(den)*imag(den)
+		if d < 1e-24 {
+			out[i] = ls * complex(float64(n), 0)
 		} else {
-			out[i] = lead * scale * (num / den)
+			inv := 1 / d
+			out[i] = lsn * complex(real(den)*inv, -imag(den)*inv)
 		}
 		rho *= step
 	}

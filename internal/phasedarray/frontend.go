@@ -101,6 +101,14 @@ func (f *FrontEnd) Active() cmx.Vector {
 	return f.active.Clone()
 }
 
+// ActiveView returns the currently programmed weights WITHOUT copying
+// (nil before the first SetWeights/LoadBeam). The returned slice is the
+// front end's live state: callers must treat it as read-only and must not
+// retain it across the next SetWeights/LoadBeam. The per-slot SNR
+// evaluation uses this to avoid one clone per slot; mutating callers use
+// Active.
+func (f *FrontEnd) ActiveView() cmx.Vector { return f.active }
+
 // Ready reports whether the weight reprogram has settled by time t.
 func (f *FrontEnd) Ready(t float64) bool { return t >= f.busyUntil }
 

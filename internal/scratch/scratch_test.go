@@ -1,0 +1,118 @@
+package scratch
+
+import "testing"
+
+func TestCheckoutsAreZeroedAndDisjoint(t *testing.T) {
+	w := New()
+	a := w.Complex(8)
+	b := w.Complex(8)
+	for i := range a {
+		a[i] = complex(float64(i), 1)
+	}
+	for i := range b {
+		if b[i] != 0 {
+			t.Fatalf("b[%d] = %v, want 0 (fresh checkout must be zeroed)", i, b[i])
+		}
+	}
+	// b must not alias a.
+	b[0] = 42
+	if a[0] == 42 {
+		t.Fatal("checkouts alias each other")
+	}
+	f := w.Float(4)
+	f2 := w.Float(4)
+	f[0] = 7
+	if f2[0] != 0 {
+		t.Fatal("float checkouts alias or are not zeroed")
+	}
+}
+
+func TestReleaseRecyclesAndRezeroes(t *testing.T) {
+	w := New()
+	m := w.Mark()
+	a := w.Complex(16)
+	a[3] = 9
+	w.Release(m)
+	b := w.Complex(16)
+	if &a[0] != &b[0] {
+		t.Fatal("Release did not rewind the arena (expected same backing memory)")
+	}
+	if b[3] != 0 {
+		t.Fatalf("recycled checkout not zeroed: b[3] = %v", b[3])
+	}
+}
+
+func TestCapClampPreventsAppendBleed(t *testing.T) {
+	w := New()
+	a := w.Complex(4)
+	b := w.Complex(4)
+	a = append(a, 99) // must reallocate, not write into b
+	_ = a
+	if b[0] != 0 {
+		t.Fatalf("append to earlier checkout bled into later one: b[0] = %v", b[0])
+	}
+}
+
+func TestLargeCheckoutAndGrowth(t *testing.T) {
+	w := New()
+	big := w.Complex(10 * firstComplexChunk)
+	if len(big) != 10*firstComplexChunk {
+		t.Fatalf("len = %d", len(big))
+	}
+	// After growth, small checkouts still work and are zeroed.
+	s := w.Complex(3)
+	if len(s) != 3 || s[0] != 0 {
+		t.Fatal("post-growth checkout broken")
+	}
+	bigF := w.Float(10 * firstFloatChunk)
+	if len(bigF) != 10*firstFloatChunk {
+		t.Fatalf("float len = %d", len(bigF))
+	}
+}
+
+func TestNestedMarks(t *testing.T) {
+	w := New()
+	outer := w.Mark()
+	a := w.Complex(8)
+	inner := w.Mark()
+	_ = w.Complex(8)
+	w.Release(inner)
+	c := w.Complex(8)
+	// a must still be live (untouched) after the inner release.
+	a[0] = 5
+	if c[0] != 0 {
+		t.Fatal("inner release corrupted zeroing")
+	}
+	w.Release(outer)
+	d := w.Complex(8)
+	if &d[0] != &a[0] {
+		t.Fatal("outer release did not rewind to outer mark")
+	}
+}
+
+func TestZeroLength(t *testing.T) {
+	w := New()
+	if s := w.Complex(0); s != nil {
+		t.Fatal("Complex(0) should be nil")
+	}
+	if s := w.Float(0); s != nil {
+		t.Fatal("Float(0) should be nil")
+	}
+}
+
+func TestSteadyStateNoAllocs(t *testing.T) {
+	w := New()
+	// Warm up the chunk list.
+	w.Complex(64)
+	w.Float(64)
+	w.Reset()
+	allocs := testing.AllocsPerRun(100, func() {
+		m := w.Mark()
+		_ = w.Complex(64)
+		_ = w.Float(64)
+		w.Release(m)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state checkout allocates: %v allocs/run", allocs)
+	}
+}

@@ -65,6 +65,13 @@ type Scenario struct {
 
 	initialVias map[int]int // wall id → stable path rank (lazily built)
 	nextID      int
+	// traceBuf and idsBuf are the per-slot scratch of ChannelAt/channelInto:
+	// the ray tracer appends into traceBuf and the stable-id mapping reuses
+	// idsBuf, so steady-state slot stepping does not touch the allocator.
+	// They make a Scenario single-goroutine; parallel trials each build
+	// their own Scenario (the experiment engine already does).
+	traceBuf []env.Path
+	idsBuf   []int
 }
 
 // Fading is a per-path Gauss-Markov shadowing process in dB:
@@ -75,6 +82,11 @@ type Fading struct {
 	Rng        *rand.Rand
 
 	state map[int]float64
+	// ids is the sorted list of tracked path ids, maintained incrementally
+	// (insertion on first sight) so every advance draws innovations in the
+	// same ascending-id order the old sort-the-keys loop produced — without
+	// rebuilding and sorting a fresh slice each timestamp.
+	ids   []int
 	lastT float64
 }
 
@@ -90,18 +102,13 @@ func (f *Fading) at(pathID int, t float64) float64 {
 	if dt < 0 {
 		dt = 0
 	}
-	// Advance all tracked paths once per new timestamp, in sorted id order
-	// so the innovation draws are deterministic (map iteration order is
-	// randomized in Go).
+	// Advance all tracked paths once per new timestamp, in ascending id
+	// order (f.ids is kept sorted) so the innovation draws are
+	// deterministic (map iteration order is randomized in Go).
 	if dt > 0 {
 		rho := math.Exp(-dt / f.CoherenceS)
 		innov := math.Sqrt(1 - rho*rho)
-		ids := make([]int, 0, len(f.state))
-		for id := range f.state {
-			ids = append(ids, id)
-		}
-		sort.Ints(ids)
-		for _, id := range ids {
+		for _, id := range f.ids {
 			f.state[id] = rho*f.state[id] + innov*f.SigmaDB*f.Rng.NormFloat64()
 		}
 		f.lastT = t
@@ -110,6 +117,10 @@ func (f *Fading) at(pathID int, t float64) float64 {
 	if !ok {
 		v = f.SigmaDB * f.Rng.NormFloat64()
 		f.state[pathID] = v
+		i := sort.SearchInts(f.ids, pathID)
+		f.ids = append(f.ids, 0)
+		copy(f.ids[i+1:], f.ids[i:])
+		f.ids[i] = pathID
 	}
 	return v
 }
@@ -134,50 +145,69 @@ func (sc *Scenario) Validate() error {
 // matched across time by reflecting wall identity so a moving UE keeps a
 // stable path labeling.
 func (sc *Scenario) ChannelAt(t float64) *channel.Model {
+	m := &channel.Model{}
+	sc.channelInto(t, m)
+	return m
+}
+
+// channelInto rebuilds m in place as the channel snapshot at time t — the
+// per-slot variant of ChannelAt behind Runner.Run. The trace runs ONCE per
+// slot (the stable-id mapping reuses the same paths instead of re-tracing),
+// appending into the scenario's retained trace buffer, and the paths are
+// copied into m's existing capacity; in steady state the slot loop does not
+// touch the allocator.
+func (sc *Scenario) channelInto(t float64, m *channel.Model) {
 	pose := sc.UE.At(t)
-	paths := sc.Env.Trace(sc.GNB, pose)
+	sc.traceBuf = sc.Env.TraceAppend(sc.traceBuf[:0], sc.GNB, pose)
+	paths := sc.traceBuf
 	if sc.MaxPaths > 0 && len(paths) > sc.MaxPaths {
 		paths = paths[:sc.MaxPaths]
 	}
-	m := channel.New(sc.Env.Band, sc.TxArray, paths)
+	m.Band = sc.Env.Band
+	m.Tx = sc.TxArray
 	m.Rx = sc.UEArray
-	if len(sc.Blockage) == 0 && sc.Fading == nil {
-		return m
+	m.RxWeights = nil
+	if cap(m.Paths) < len(paths) {
+		m.Paths = make([]channel.PathState, len(paths))
 	}
-	ids := sc.pathIDs(t)
-	for i := range m.Paths {
-		m.Paths[i].ExtraLossDB += sc.Blockage.LossAt(ids[i], t)
-		if sc.Fading != nil {
-			m.Paths[i].ExtraLossDB += sc.Fading.at(ids[i], t)
+	m.Paths = m.Paths[:len(paths)]
+	for i, p := range paths {
+		m.Paths[i] = channel.PathState{Path: p}
+	}
+	if len(sc.Blockage) != 0 || sc.Fading != nil {
+		ids := sc.pathIDsFor(paths)
+		for i := range m.Paths {
+			m.Paths[i].ExtraLossDB += sc.Blockage.LossAt(ids[i], t)
+			if sc.Fading != nil {
+				m.Paths[i].ExtraLossDB += sc.Fading.at(ids[i], t)
+			}
 		}
 	}
 	// Direct Paths mutation: drop any cached per-path state (the snapshot
 	// validation would catch this too; the explicit call documents the
 	// contract).
 	m.InvalidateCache()
-	return m
 }
 
-// pathIDs maps the current trace's path order onto the initial path ranks
-// (by reflecting-wall identity, see env.Path.ID).
-func (sc *Scenario) pathIDs(t float64) []int {
+// pathIDsFor maps a freshly traced path list onto the initial path ranks
+// (by reflecting-wall identity, see env.Path.ID). The returned slice reuses
+// the scenario's id buffer — valid only until the next call.
+func (sc *Scenario) pathIDsFor(paths []env.Path) []int {
 	if sc.initialVias == nil {
-		paths := sc.Env.Trace(sc.GNB, sc.UE.At(0))
-		if sc.MaxPaths > 0 && len(paths) > sc.MaxPaths {
-			paths = paths[:sc.MaxPaths]
+		init := sc.Env.Trace(sc.GNB, sc.UE.At(0))
+		if sc.MaxPaths > 0 && len(init) > sc.MaxPaths {
+			init = init[:sc.MaxPaths]
 		}
 		sc.initialVias = map[int]int{}
-		for rank, p := range paths {
+		for rank, p := range init {
 			sc.initialVias[p.ID()] = rank
 		}
-		sc.nextID = len(paths)
+		sc.nextID = len(init)
 	}
-	pose := sc.UE.At(t)
-	paths := sc.Env.Trace(sc.GNB, pose)
-	if sc.MaxPaths > 0 && len(paths) > sc.MaxPaths {
-		paths = paths[:sc.MaxPaths]
+	if cap(sc.idsBuf) < len(paths) {
+		sc.idsBuf = make([]int, len(paths))
 	}
-	ids := make([]int, len(paths))
+	ids := sc.idsBuf[:len(paths)]
 	for i, p := range paths {
 		id, ok := sc.initialVias[p.ID()]
 		if !ok {
@@ -212,6 +242,12 @@ type Runner struct {
 // Run replays the scenario against each scheme independently (each scheme
 // sees the same channel realizations) and returns per-scheme results keyed
 // by Scheme.Name.
+//
+// Each scheme steps on its own persistent model: cloned from the base
+// snapshot on the first slot (so schemes never share mutable state, exactly
+// as the old per-slot Clone guaranteed), then refreshed in place with
+// CopyStateFrom and recycled caches (Model.Reuse) every slot after — the
+// slot loop is allocation-free in steady state.
 func (r Runner) Run(sc *Scenario, schemes ...Scheme) (map[string]Result, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
@@ -224,14 +260,24 @@ func (r Runner) Run(sc *Scenario, schemes ...Scheme) (map[string]Result, error) 
 	out := make(map[string]Result, len(schemes))
 	meters := make([]*link.Meter, len(schemes))
 	results := make([]Result, len(schemes))
+	models := make([]*channel.Model, len(schemes))
 	for i := range schemes {
 		meters[i] = link.NewMeter()
 	}
+	base := &channel.Model{}
 	for s := 0; s < nSlots; s++ {
 		t := float64(s) * slotDur
-		m := sc.ChannelAt(t)
+		sc.channelInto(t, base)
 		for i, scheme := range schemes {
-			slot := scheme.Step(t, m.Clone())
+			sm := models[i]
+			if sm == nil {
+				sm = base.Clone()
+				sm.Reuse = true
+				models[i] = sm
+			} else {
+				sm.CopyStateFrom(base)
+			}
+			slot := scheme.Step(t, sm)
 			if t < r.Warmup {
 				continue
 			}
