@@ -27,7 +27,9 @@ import (
 	"mmreliable/internal/link"
 	"mmreliable/internal/nr"
 	"mmreliable/internal/scratch"
+	"mmreliable/internal/seeds"
 	"mmreliable/internal/sim"
+	"mmreliable/internal/station"
 	"mmreliable/internal/stats"
 )
 
@@ -90,6 +92,7 @@ func BenchmarkExtensionIRS(b *testing.B)         { runFigure(b, "e1") }
 func BenchmarkExtensionHandover(b *testing.B)    { runFigure(b, "e2") }
 func BenchmarkExtensionRateAdapt(b *testing.B)   { runFigure(b, "e3") }
 func BenchmarkExtensionMultiUser(b *testing.B)   { runFigure(b, "e4") }
+func BenchmarkExtensionStation(b *testing.B)     { runFigure(b, "e5") }
 
 // Micro-benchmarks for the hot per-slot/per-probe paths, to show the
 // reproduction's algorithmic costs (the paper reports its super-resolution
@@ -259,4 +262,44 @@ func BenchmarkManagerMaintainTick(b *testing.B) {
 		t += mcfg.MaintainPeriod
 		mgr.Step(t, m)
 	}
+}
+
+// BenchmarkStationSlot measures the serving engine's steady-state per-
+// session-slot cost through the public station API: an 8-UE station
+// stepping whole frames on the inline single-worker path. Must report
+// 0 allocs/op — the station package's TestStationSlotAllocs pins the same
+// loop exactly.
+func BenchmarkStationSlot(b *testing.B) {
+	st, err := station.New(nr.Mu3(), station.Config{
+		ProbeBudget: 8, FramePeriod: 20e-3, MaxSessions: 64,
+		Workers: 1, Warmup: sim.StandardWarmup, AgingBoost: 0.25,
+		Manager: manager.DefaultConfig(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const ues = 8
+	for i := 0; i < ues; i++ {
+		s := seeds.Mix(41, int64(i))
+		if _, err := st.Attach(station.SessionConfig{
+			Scenario: sim.StaticIndoor(s),
+			Budget:   sim.IndoorBudget(),
+			Seed:     s,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		st.AdvanceFrame() // establish sessions + warm buffers
+	}
+	slotsPerOp := ues * st.SlotsPerFrame()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.AdvanceFrame()
+	}
+	b.StopTimer()
+	perSlot := float64(b.Elapsed().Nanoseconds()) / float64(b.N*slotsPerOp)
+	b.ReportMetric(perSlot, "ns/sessionslot")
+	b.ReportMetric(1e9/perSlot, "sessionslots/s")
 }

@@ -1,0 +1,130 @@
+// Command mmstation runs the concurrent multi-UE gNB serving engine
+// (internal/station): N UE sessions — each a full mmReliable beam manager
+// against its own scenario replay — share one radio frame and one CSI-RS
+// probe budget, arbitrated per frame by the staleness × SNR-drop scheduler.
+//
+// Usage:
+//
+//	mmstation -ues 16 -scenario indoor -duration 1
+//	mmstation -ues 32 -budget 8 -churn -workers 8
+//	mmstation -ues 8 -scenario walking-blocker -budget 2 -seed 7
+//
+// Scenarios: the sim.Named set (indoor, indoor-mobile, outdoor,
+// walking-blocker, small-spread, rotating-ue) plus "mixed" (alternating
+// static-indoor / walking-blocker — the CI determinism workload).
+//
+// Every session replays its own deterministic scenario instance (seeded via
+// seeds.Mix(seed, 981, id)), all lifecycle and scheduling decisions happen
+// single-threaded at frame boundaries, and the output carries no wall-clock
+// or host-dependent fields — so stdout is byte-identical for any -workers
+// value. CI diffs -workers 1 against -workers 8 on a 32-UE churn run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mmreliable/internal/link"
+	"mmreliable/internal/nr"
+	"mmreliable/internal/seeds"
+	"mmreliable/internal/sim"
+	"mmreliable/internal/station"
+	"mmreliable/internal/stats"
+)
+
+func main() {
+	ues := flag.Int("ues", 8, "number of UE sessions to attach")
+	scenario := flag.String("scenario", "mixed", "mixed | indoor | indoor-mobile | outdoor | walking-blocker | small-spread | rotating-ue")
+	budget := flag.Int("budget", station.DefaultConfig().ProbeBudget, "probe grants per frame across all sessions (0 = unlimited, every session self-schedules)")
+	frameMS := flag.Float64("frame-ms", station.DefaultConfig().FramePeriod*1e3, "scheduling frame period in milliseconds")
+	duration := flag.Float64("duration", 0.5, "simulated duration in seconds (warmup included)")
+	seed := flag.Int64("seed", 1, "base seed; per-session streams are derived via seeds.Mix")
+	workers := flag.Int("workers", 0, "worker goroutines stepping sessions (0 = GOMAXPROCS); output is identical for any value")
+	maxSessions := flag.Int("max-sessions", station.DefaultConfig().MaxSessions, "admission-control cap on concurrently attached sessions")
+	churn := flag.Bool("churn", false, "mid-run churn: every 4th UE attaches at 0.3×duration, every 5th detaches at 0.7×duration")
+	perUE := flag.Bool("per-ue", false, "print the per-UE result table")
+	flag.Parse()
+
+	if *ues < 1 {
+		fmt.Fprintln(os.Stderr, "mmstation: -ues must be ≥ 1")
+		os.Exit(1)
+	}
+	cfg := station.DefaultConfig()
+	cfg.ProbeBudget = *budget
+	cfg.FramePeriod = *frameMS * 1e-3
+	cfg.MaxSessions = *maxSessions
+	cfg.Workers = *workers
+
+	st, err := station.New(nr.Mu3(), cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	mkScenario := func(id int, sseed int64) (*sim.Scenario, link.Budget, error) {
+		if *scenario == "mixed" {
+			if id%2 == 0 {
+				return sim.StaticIndoor(sseed), sim.IndoorBudget(), nil
+			}
+			return sim.WalkingBlockerIndoor(sseed), sim.IndoorBudget(), nil
+		}
+		return sim.Named(*scenario, sseed)
+	}
+
+	for i := 0; i < *ues; i++ {
+		sseed := seeds.Mix(*seed, 981, int64(i))
+		sc, bud, err := mkScenario(i, sseed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		scfg := station.SessionConfig{
+			Scenario: sc,
+			Budget:   bud,
+			Seed:     sseed,
+		}
+		if *churn {
+			if i%4 == 3 {
+				scfg.AttachAt = 0.3 * *duration
+			}
+			if i%5 == 4 {
+				scfg.DetachAt = 0.7 * *duration
+			}
+		}
+		if _, err := st.Attach(scfg); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	res := st.Run(*duration)
+	c := res.Counters
+
+	fmt.Printf("station: %d UEs, scenario %s, %.1f s, budget %d grants/frame, frame %.1f ms (seed %d)\n",
+		*ues, *scenario, *duration, *budget, *frameMS, *seed)
+	fmt.Printf("frames %d  session-slots %d  admitted %d  rejected %d  detached %d\n",
+		c.Frames, c.SessionSlots, c.AttachesAdmitted, c.AttachesRejected, c.Detaches)
+	fmt.Printf("probes %d  grants %d  denials %d  preemptions %d  realigns %d  retrains %d  training-slots %d\n",
+		c.ProbesIssued, c.Grants, c.BudgetDenials, c.Preemptions, c.Realigns, c.Retrains, c.TrainingSlots)
+	overheadPct := 0.0
+	if c.SessionSlots > 0 {
+		overheadPct = 100 * float64(c.TrainingSlots) / float64(c.SessionSlots)
+	}
+	fmt.Printf("mean reliability %s  median SNR %s dB  training overhead %s%%  min/max grant ratio %s\n",
+		stats.Fmt(res.MeanReliability), stats.Fmt(res.MedianSNRdB),
+		stats.Fmt(overheadPct), stats.Fmt(res.MinMaxGrantRatio))
+
+	if *perUE {
+		table := stats.NewTable("per-UE results",
+			"ue", "state", "slots", "reliability", "snr_dB", "thr_Mbps", "grants", "denials", "preempt", "retrain")
+		for _, ur := range res.PerUE {
+			s := ur.Summary
+			table.AddRow(fmt.Sprintf("%03d", ur.ID), ur.State, fmt.Sprintf("%d", ur.Slots),
+				stats.Fmt(s.Reliability), stats.Fmt(s.MeanSNRdB), stats.Fmt(s.MeanThroughput/1e6),
+				fmt.Sprintf("%d", ur.Grants), fmt.Sprintf("%d", ur.BudgetDenials),
+				fmt.Sprintf("%d", ur.Preemptions), fmt.Sprintf("%d", ur.Retrains))
+		}
+		table.Render(os.Stdout)
+	}
+}

@@ -45,7 +45,21 @@ func (q Quantizer) Validate() error {
 // and amplitudes and re-normalizes to unit norm (TRP conservation). The
 // input is not modified.
 func (q Quantizer) Apply(w cmx.Vector) cmx.Vector {
-	out := w.Clone()
+	return q.ApplyInto(w, nil)
+}
+
+// ApplyInto is Apply writing the quantized weights into dst (allocated
+// when nil; must have length len(w) otherwise). The input is not
+// modified and the arithmetic is identical to Apply.
+func (q Quantizer) ApplyInto(w, dst cmx.Vector) cmx.Vector {
+	if dst == nil {
+		dst = make(cmx.Vector, len(w))
+	}
+	if len(dst) != len(w) {
+		panic(fmt.Sprintf("antenna: quantizer dst length %d != %d", len(dst), len(w)))
+	}
+	out := dst
+	copy(out, w)
 	maxAmp, _ := out.MaxAbs()
 	if maxAmp == 0 {
 		return out

@@ -150,11 +150,21 @@ func (v Vector) MaxAbs() (float64, int) {
 
 // Abs returns the elementwise magnitudes of v.
 func (v Vector) Abs() []float64 {
-	out := make([]float64, len(v))
-	for i, x := range v {
-		out[i] = cmplx.Abs(x)
+	return v.AbsInto(make([]float64, len(v)))
+}
+
+// AbsInto writes the elementwise magnitudes of v into dst and returns it
+// (see Abs), allocating only when dst is nil. dst must have length
+// len(v) when non-nil.
+func (v Vector) AbsInto(dst []float64) []float64 {
+	if dst == nil {
+		dst = make([]float64, len(v))
 	}
-	return out
+	mustSameLen(len(v), len(dst))
+	for i, x := range v {
+		dst[i] = cmplx.Abs(x)
+	}
+	return dst
 }
 
 // Phase returns the elementwise phases (radians, in (−π, π]) of v.

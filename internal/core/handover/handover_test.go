@@ -165,3 +165,75 @@ func TestMultiScenarioValidation(t *testing.T) {
 		t.Fatal("no schemes should fail")
 	}
 }
+
+// TestEmptyScheduleKeepsServingCell: an explicitly empty (non-nil)
+// blockage schedule is a healthy link — the controller must never start an
+// evaluation, let alone hand over.
+func TestEmptyScheduleKeepsServingCell(t *testing.T) {
+	c := newController(t, 2, 8)
+	sc := twoGNBScenario(false)
+	sc.Blockage = events.Schedule{}
+	sc.Duration = 0.4
+	out, err := (sim.Runner{}).RunMulti(sc, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Evaluations != 0 || c.Handovers != 0 {
+		t.Fatalf("empty schedule triggered %d evaluations / %d handovers", c.Evaluations, c.Handovers)
+	}
+	if out["ho"].Summary.Reliability < 0.9 {
+		t.Fatalf("healthy reliability %g", out["ho"].Summary.Reliability)
+	}
+}
+
+// TestOverlappingBlockageTriggersHandover: each of gNB A's paths carries
+// two OVERLAPPING events of partial depth. Either event alone leaves the
+// link above the outage threshold; only the summed overlap window kills
+// the cell — the handover must fire off the combined loss.
+func TestOverlappingBlockageTriggersHandover(t *testing.T) {
+	sc := twoGNBScenario(false)
+	for k := 0; k < sc.MaxPaths; k++ {
+		sc.Blockage = append(sc.Blockage,
+			events.Event{PathIndex: k, Start: 0.25, Duration: 0.35, DepthDB: 14,
+				RampTime: events.RampFor(14)},
+			events.Event{PathIndex: k, Start: 0.35, Duration: 0.45, DepthDB: 31,
+				RampTime: events.RampFor(31)},
+		)
+	}
+	c := newController(t, 2, 9)
+	if _, err := (sim.Runner{}).RunMulti(sc, c); err != nil {
+		t.Fatal(err)
+	}
+	if c.Handovers == 0 {
+		t.Fatal("no handover despite overlapping blockage killing the serving cell")
+	}
+	if c.Serving() != 1 {
+		t.Fatalf("serving = %d, want gNB B", c.Serving())
+	}
+}
+
+// TestBlockageIndexPastConcatenatedPaths: a path index at or beyond
+// nGNBs·MaxPaths addresses nothing in the concatenated per-gNB path list —
+// the event must be dropped silently, not wrap around onto some cell.
+func TestBlockageIndexPastConcatenatedPaths(t *testing.T) {
+	sc := twoGNBScenario(false)
+	sc.Duration = 0.4
+	for _, idx := range []int{2 * sc.MaxPaths, 2*sc.MaxPaths + 5, 1000} {
+		sc.Blockage = append(sc.Blockage, events.Event{
+			PathIndex: idx, Start: 0.1, Duration: 0.25, DepthDB: 50,
+			RampTime: events.RampFor(50),
+		})
+	}
+	c := newController(t, 2, 10)
+	out, err := (sim.Runner{}).RunMulti(sc, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Evaluations != 0 || c.Handovers != 0 {
+		t.Fatalf("out-of-range blockage indices triggered %d evaluations / %d handovers",
+			c.Evaluations, c.Handovers)
+	}
+	if out["ho"].Summary.Reliability < 0.9 {
+		t.Fatalf("out-of-range events degraded the link: reliability %g", out["ho"].Summary.Reliability)
+	}
+}

@@ -1,0 +1,88 @@
+package manager
+
+// This file factors the manager's training-slot decision into an injectable
+// arbitration point. The Fig. 9 state machine decides WHEN a sounding
+// opportunity is due (maintenance cadence, CC-refresh cadence, emergency
+// confirmation windows) exactly as before; a ProbeGrant decides whether the
+// due opportunity may actually fire. The default (nil, or SelfScheduled)
+// always grants, reproducing the single-link behaviour byte for byte. A
+// base station serving many UEs injects a budget-aware grant per session so
+// a shared CSI-RS probe budget bounds aggregate maintenance overhead — see
+// internal/station.
+
+// ProbeKind classifies a sounding opportunity presented to a ProbeGrant.
+type ProbeKind int
+
+const (
+	// ProbeMaintain is the periodic CSI-RS maintenance round (§5.2): one
+	// probe plus at most one recovery probe, occasionally followed by
+	// refinement probes. Denying it leaves the round due — the manager
+	// re-requests every slot until granted.
+	ProbeMaintain ProbeKind = iota
+	// ProbeCC is the lightweight constructive-combining phase refresh
+	// (one probe). Denying it backs the refresh off by one CC period.
+	ProbeCC
+	// ProbeEmergency is the blockage-onset emergency maintenance round:
+	// the link has been below threshold for emergencyConfirmSlots slots
+	// and power must be reallocated away from the blocked beam NOW. A
+	// budget scheduler should treat this as a preemption and grant it
+	// immediately; denying it only delays the outage-recovery ladder.
+	ProbeEmergency
+)
+
+// String names the kind for diagnostics.
+func (k ProbeKind) String() string {
+	switch k {
+	case ProbeMaintain:
+		return "maintain"
+	case ProbeCC:
+		return "cc-refresh"
+	case ProbeEmergency:
+		return "emergency"
+	default:
+		return "unknown"
+	}
+}
+
+// ProbeGrant arbitrates the manager's sounding opportunities. Grant is
+// called at most a few times per slot, from the goroutine stepping the
+// manager; implementations need no locking as long as each manager's grant
+// is owned by the goroutine that steps it. Returning false suppresses the
+// opportunity; the state machine itself is never forked — timers, outage
+// ladders, and retraining behave exactly as in the self-scheduled manager.
+type ProbeGrant interface {
+	Grant(t float64, kind ProbeKind) bool
+}
+
+// SelfScheduled is the default grant: every due opportunity fires, i.e.
+// the manager schedules its own training slots exactly as it always has.
+type SelfScheduled struct{}
+
+// Grant implements ProbeGrant.
+func (SelfScheduled) Grant(float64, ProbeKind) bool { return true }
+
+// SetProbeGrant installs the sounding arbiter. nil restores the default
+// self-scheduled behaviour. Must not be called mid-slot.
+func (g *Manager) SetProbeGrant(pg ProbeGrant) { g.probeGrant = pg }
+
+// grantAllows consults the installed grant (default: allow).
+func (g *Manager) grantAllows(t float64, kind ProbeKind) bool {
+	if g.probeGrant == nil {
+		return true
+	}
+	return g.probeGrant.Grant(t, kind)
+}
+
+// Established reports whether the manager currently transmits a trained
+// multi-beam (false while acquiring or retraining from scratch).
+func (g *Manager) Established() bool { return g.w != nil }
+
+// NextMaintainAt returns the time the next periodic maintenance round
+// becomes due — the scheduler input for "does this session want a probe
+// this frame".
+func (g *Manager) NextMaintainAt() float64 { return g.nextMaintain }
+
+// ProbesUsed returns the cumulative CSI-RS/SSB probe count the manager's
+// sounder has issued (training sweeps included) — the raw overhead figure
+// a serving station accounts against its probe budget.
+func (g *Manager) ProbesUsed() int { return g.sounder.Probes }

@@ -160,6 +160,22 @@ type Manager struct {
 	stsBuf []track.Status
 	degBuf []bool
 	ws     *scratch.Workspace
+	// Refinement-round scratch (refine also runs allocation-free): csi2Buf
+	// is the second candidate probe's landing, devIdx/devVal the deviated
+	// beam list, estBuf the CC re-estimate, lobesBuf/beamsBuf the lobe
+	// lists applyWeights and BeamsInto rebuild each round. bp is the
+	// reusable Prober binding (rebound to the live channel per round).
+	csi2Buf  cmx.Vector
+	pwrBuf   []float64
+	devIdx   []int
+	devVal   []float64
+	estBuf   probe.Result
+	lobesBuf []multibeam.Beam
+	beamsBuf []multibeam.Beam
+	bp       boundProber
+	// wSpare is applyWeights' double buffer: the composed weight vector
+	// and the spare rotate, so steady-state weight updates do not allocate.
+	wSpare cmx.Vector
 
 	// Beam state.
 	angles    []float64 // per-beam steering angles (reference first)
@@ -188,12 +204,18 @@ type Manager struct {
 	emergencyTried bool
 	badSlots       int     // consecutive below-threshold data slots
 	trainDebt      float64 // fractional training slots owed by symbol-level probes
+	// probeGrant arbitrates sounding opportunities (nil = self-scheduled:
+	// every due opportunity fires). See grant.go.
+	probeGrant ProbeGrant
 
 	// Stats.
 	TrainingSlots int
 	Retrains      int
 	Refinements   int
 	BlockageDrops int
+	// BudgetDenials counts sounding opportunities the installed ProbeGrant
+	// suppressed (always 0 under the default self-scheduled grant).
+	BudgetDenials int
 	// RetrainReasons counts full-retrain triggers by cause, for
 	// diagnostics ("data-outage", "superres", "tracker", "all-blocked",
 	// "compose", "initial", "sweep-empty", "estimate").
@@ -229,6 +251,17 @@ func New(name string, u *antenna.ULA, budget link.Budget, num nr.Numerology, cfg
 	mgr.csiBuf = make(cmx.Vector, cfg.NumSC)
 	mgr.cirBuf = make(cmx.Vector, cfg.NumSC)
 	mgr.sbBuf = make(cmx.Vector, u.N)
+	mgr.csi2Buf = make(cmx.Vector, cfg.NumSC)
+	mgr.pwrBuf = make([]float64, 0, cfg.MaxBeams)
+	mgr.devIdx = make([]int, 0, cfg.MaxBeams)
+	mgr.devVal = make([]float64, 0, cfg.MaxBeams)
+	mgr.estBuf = probe.Result{
+		Relative:     make([]probe.Estimate, 0, cfg.MaxBeams),
+		PerBeamPower: make([]float64, 0, cfg.MaxBeams),
+	}
+	mgr.lobesBuf = make([]multibeam.Beam, 0, cfg.MaxBeams)
+	mgr.beamsBuf = make([]multibeam.Beam, 0, cfg.MaxBeams)
+	mgr.bp = boundProber{s: s}
 	mgr.ws = scratch.New()
 	return mgr, nil
 }
@@ -296,18 +329,30 @@ func (g *Manager) Step(t float64, m *channel.Model) sim.Slot {
 	}
 	// Maintenance and CC refresh run inline: their CSI-RS probes occupy one
 	// OFDM symbol each (§5.2), multiplexed with data in the same slot, and
-	// are charged to a fractional training-slot debt.
+	// are charged to a fractional training-slot debt. Each due opportunity
+	// first clears the installed ProbeGrant (default: always granted); a
+	// denied maintenance round stays due and is re-requested next slot,
+	// while a denied CC refresh backs off one CC period.
 	if t >= g.nextMaintain {
-		g.nextMaintain = t + g.cfg.MaintainPeriod
-		g.nextCCRefresh = t + g.cfg.CCRefreshPeriod
-		g.runWithDebt(func() { g.maintain(t, m) })
+		if g.grantAllows(t, ProbeMaintain) {
+			g.nextMaintain = t + g.cfg.MaintainPeriod
+			g.nextCCRefresh = t + g.cfg.CCRefreshPeriod
+			g.runWithDebt(func() { g.maintain(t, m) })
+		} else {
+			g.BudgetDenials++
+		}
 	} else if g.cfg.ConstructiveCombining && g.cfg.CCRefreshPeriod > 0 &&
 		g.ccUpdatable() > 0 && t >= g.nextCCRefresh {
 		// Lightweight CC phase refresh: only worth a probe when at least
 		// one beam's phase is actually updatable (delay-separable from
 		// every other active beam).
-		g.nextCCRefresh = t + g.cfg.CCRefreshPeriod
-		g.runWithDebt(func() { g.ccRefresh(t, m) })
+		if g.grantAllows(t, ProbeCC) {
+			g.nextCCRefresh = t + g.cfg.CCRefreshPeriod
+			g.runWithDebt(func() { g.ccRefresh(t, m) })
+		} else {
+			g.nextCCRefresh = t + g.cfg.CCRefreshPeriod
+			g.BudgetDenials++
+		}
 	}
 	// Pay down accumulated probe debt with whole training slots.
 	if g.trainDebt >= 1 {
@@ -327,11 +372,17 @@ func (g *Manager) Step(t float64, m *channel.Model) sim.Slot {
 		case !g.emergencyTried && g.badSlots >= emergencyConfirmSlots:
 			// A persistent dip (blockage onset) is first answered with an
 			// immediate maintenance round — detect the blocked beam and
-			// reallocate its power (§4.1) — instead of a full retrain.
-			g.emergencyTried = true
-			g.nextMaintain = t + g.cfg.MaintainPeriod
-			g.runWithDebt(func() { g.maintain(t, m) })
-			snr = g.snr(m) // reallocation may already have recovered it
+			// reallocate its power (§4.1) — instead of a full retrain. A
+			// budget scheduler sees this as ProbeEmergency (preemption);
+			// denial leaves the emergency pending for the next slot.
+			if g.grantAllows(t, ProbeEmergency) {
+				g.emergencyTried = true
+				g.nextMaintain = t + g.cfg.MaintainPeriod
+				g.runWithDebt(func() { g.maintain(t, m) })
+				snr = g.snr(m) // reallocation may already have recovered it
+			} else {
+				g.BudgetDenials++
+			}
 		case g.emergencyTried && g.badSlots >= retrainConfirmSlots:
 			// Maintenance could not recover the link and the outage has
 			// outlasted any plausible fading dip: full retrain.
@@ -643,19 +694,25 @@ func (g *Manager) fullReset() {
 // applyWeights composes the active beams into weights and programs the
 // front end. Returns false if no active beam remains.
 func (g *Manager) applyWeights(t float64) bool {
-	var lobes []multibeam.Beam
+	lobes := g.lobesBuf[:0]
 	for k, b := range g.beams {
 		if g.active[k] {
 			lobes = append(lobes, b)
 		}
 	}
+	g.lobesBuf = lobes[:0]
 	if len(lobes) == 0 {
 		return false
 	}
-	w, err := multibeam.WeightsInto(g.u, lobes, nil, g.mbScratch)
+	// Compose into the spare buffer and swap: the outgoing weight vector is
+	// never retained by anyone else (the front end quantizes into its own
+	// storage; probes and SNR evaluations read transiently), so the two
+	// vectors can rotate forever without touching the allocator.
+	w, err := multibeam.WeightsInto(g.u, lobes, g.wSpare, g.mbScratch)
 	if err != nil {
 		return false
 	}
+	g.wSpare = g.w
 	g.w = w
 	if err := g.fe.SetWeights(w, t); err != nil {
 		return false
@@ -684,12 +741,22 @@ func (g *Manager) maintain(t float64, m *channel.Model) {
 		return
 	}
 	if g.tracker == nil || g.needAnch {
-		tr, err := track.New(g.u, g.cfg.Track, floorPowers(res.Power))
-		if err != nil {
-			g.retrainCause(t, "tracker")
-			return
+		powers := g.floorPowersInto(res.Power)
+		if g.tracker != nil && g.tracker.NumBeams() == len(powers) {
+			// Same beam set: re-anchor in place (state-for-state the same
+			// as a fresh tracker, but allocation-free).
+			if err := g.tracker.Reanchor(powers); err != nil {
+				g.retrainCause(t, "tracker")
+				return
+			}
+		} else {
+			tr, err := track.New(g.u, g.cfg.Track, powers)
+			if err != nil {
+				g.retrainCause(t, "tracker")
+				return
+			}
+			g.tracker = tr
 		}
-		g.tracker = tr
 		g.needAnch = false
 		return
 	}
@@ -766,14 +833,15 @@ func (g *Manager) maintain(t float64, m *channel.Model) {
 			}
 		}
 	}
-	var deviated []int
-	var devs []float64
+	deviated := g.devIdx[:0]
+	devs := g.devVal[:0]
 	for k, st := range sts {
 		if g.active[k] && st.Deviation >= dsp.Rad(g.cfg.MinRefineDeg) {
 			deviated = append(deviated, k)
 			devs = append(devs, st.Deviation)
 		}
 	}
+	g.devIdx, g.devVal = deviated[:0], devs[:0]
 	if len(deviated) == 0 {
 		return
 	}
@@ -976,32 +1044,36 @@ func (g *Manager) ueAmp(k int) float64 {
 
 // refine re-aligns the deviated beams: one ambiguity probe each, then a
 // constructive-combining re-estimate with the cached per-beam magnitudes.
+// Runs allocation-free in steady state (under maintain's workspace mark):
+// probes land in retained buffers, refreshed magnitudes overwrite the
+// cached rows in place, and the re-estimate works out of the workspace.
 func (g *Manager) refine(t float64, m *channel.Model, deviated []int, devs []float64) {
 	g.Refinements++
-	pr := &boundProber{s: g.sounder, m: m}
+	g.bp.m = m
+	pr := &g.bp
 	for i, k := range deviated {
 		c1, c2 := track.Candidates(g.angles[k], devs[i])
-		csi1 := pr.Probe(g.u.SingleBeam(c1))
+		csi1 := pr.ProbeInto(g.u.SingleBeamInto(c1, g.sbBuf), g.csiBuf)
 		rss1 := nr.RSS(csi1)
 		if rss1 > g.rssAnchor[k]*dsp.FromDB(-1) {
 			// Candidate 1 recovers (within 1 dB of the anchor): take it.
 			g.angles[k] = c1
-			g.mags[k] = csi1.Abs()
+			g.mags[k] = csi1.AbsInto(g.mags[k])
 			g.rssAnchor[k] = rss1
 		} else {
 			// Otherwise the motion went the other way.
-			csi2 := pr.Probe(g.u.SingleBeam(c2))
+			csi2 := pr.ProbeInto(g.u.SingleBeamInto(c2, g.sbBuf), g.csi2Buf)
 			// Accept whichever candidate measures stronger; this costs one
 			// extra probe only when the first guess was wrong, matching the
 			// paper's "probe one, fall back to the other" procedure.
 			rss2 := nr.RSS(csi2)
 			if rss2 >= rss1 {
 				g.angles[k] = c2
-				g.mags[k] = csi2.Abs()
+				g.mags[k] = csi2.AbsInto(g.mags[k])
 				g.rssAnchor[k] = rss2
 			} else {
 				g.angles[k] = c1
-				g.mags[k] = csi1.Abs()
+				g.mags[k] = csi1.AbsInto(g.mags[k])
 				g.rssAnchor[k] = rss1
 			}
 		}
@@ -1009,8 +1081,9 @@ func (g *Manager) refine(t float64, m *channel.Model, deviated []int, devs []flo
 	}
 	// Re-estimate constructive combining with refreshed magnitudes.
 	if g.cfg.ConstructiveCombining && len(g.angles) > 1 {
-		if est, err := estimateWithMags(pr, g.u, g.angles, g.mags, g.relDelays, g.budget.BandwidthHz); err == nil {
-			if beams, err := est.Beams(g.angles); err == nil {
+		if err := estimateWithMagsInto(&g.estBuf, pr, g.u, g.angles, g.mags, g.relDelays, g.budget.BandwidthHz, g.ws); err == nil {
+			if beams, err := g.estBuf.BeamsInto(g.angles, g.beamsBuf); err == nil {
+				g.beamsBuf = beams
 				for k := range beams {
 					if g.active[k] {
 						g.beams[k] = beams[k]
@@ -1032,19 +1105,32 @@ func (g *Manager) refine(t float64, m *channel.Model, deviated []int, devs []flo
 // reusing cached per-beam magnitudes (the paper's accounting: p1, p2 known
 // from training).
 func estimateWithMags(pr probe.Prober, u *antenna.ULA, angles []float64, mags [][]float64, rel []float64, bw float64) (probe.Result, error) {
-	res := probe.Result{}
+	var res probe.Result
+	if err := estimateWithMagsInto(&res, pr, u, angles, mags, rel, bw, nil); err != nil {
+		return probe.Result{}, err
+	}
+	return res, nil
+}
+
+// estimateWithMagsInto is estimateWithMags reusing res's slice storage and
+// drawing the pair estimator's working buffers from ws (both optional —
+// the arithmetic and probe order are identical either way).
+func estimateWithMagsInto(res *probe.Result, pr probe.Prober, u *antenna.ULA, angles []float64, mags [][]float64, rel []float64, bw float64, ws *scratch.Workspace) error {
+	res.PerBeamPower = res.PerBeamPower[:0]
+	res.Relative = res.Relative[:0]
+	res.Probes = 0
 	for k := range angles {
 		res.PerBeamPower = append(res.PerBeamPower, meanPower(mags[k]))
 	}
 	for k := 1; k < len(angles); k++ {
-		est, err := probe.EstimatePairWithDelay(pr, u, angles[0], angles[k], mags[0], mags[k], rel[k], bw)
+		est, err := probe.EstimatePairWithDelayWS(pr, u, angles[0], angles[k], mags[0], mags[k], rel[k], bw, ws)
 		if err != nil {
-			return probe.Result{}, err
+			return err
 		}
 		res.Relative = append(res.Relative, est)
 		res.Probes += 2
 	}
-	return res, nil
+	return nil
 }
 
 func meanPower(mags []float64) float64 {
@@ -1058,10 +1144,12 @@ func meanPower(mags []float64) float64 {
 	return s / float64(len(mags))
 }
 
-// floorPowers clamps non-positive extracted powers to a tiny epsilon so the
-// tracker can anchor (a fully-blocked beam at establishment time).
-func floorPowers(p []float64) []float64 {
-	out := append([]float64(nil), p...)
+// floorPowersInto clamps non-positive extracted powers to a tiny epsilon so
+// the tracker can anchor (a fully-blocked beam at establishment time),
+// copying into the manager's retained buffer.
+func (g *Manager) floorPowersInto(p []float64) []float64 {
+	out := append(g.pwrBuf[:0], p...)
+	g.pwrBuf = out[:0]
 	for i, v := range out {
 		if v <= 0 {
 			out[i] = 1e-30
@@ -1078,3 +1166,9 @@ type boundProber struct {
 
 // Probe implements probe.Prober.
 func (p *boundProber) Probe(w cmx.Vector) cmx.Vector { return p.s.Probe(p.m, w) }
+
+// ProbeInto implements probe.IntoProber: same sounding and randomness as
+// Probe, landing the CSI in dst.
+func (p *boundProber) ProbeInto(w, dst cmx.Vector) cmx.Vector {
+	return p.s.ProbeInto(p.m, w, dst)
+}

@@ -23,6 +23,7 @@ import (
 	"mmreliable/internal/antenna"
 	"mmreliable/internal/cmx"
 	"mmreliable/internal/core/multibeam"
+	"mmreliable/internal/scratch"
 )
 
 // Prober issues one channel sounding with the given TX weights and returns
@@ -31,6 +32,25 @@ import (
 // accounting.
 type Prober interface {
 	Probe(w cmx.Vector) cmx.Vector
+}
+
+// IntoProber is an optional Prober extension for zero-alloc callers:
+// ProbeInto writes the CSI estimate into dst (allocating only when dst is
+// nil). Implementations must consume their randomness exactly as Probe
+// does, so the two entry points are interchangeable without perturbing
+// any noise stream.
+type IntoProber interface {
+	Prober
+	ProbeInto(w, dst cmx.Vector) cmx.Vector
+}
+
+// probeInto sounds through p, landing the CSI in dst when p supports the
+// zero-alloc path. dst may be nil.
+func probeInto(p Prober, w, dst cmx.Vector) cmx.Vector {
+	if ip, ok := p.(IntoProber); ok {
+		return ip.ProbeInto(w, dst)
+	}
+	return p.Probe(w)
 }
 
 // Estimate is the relative channel of one beam with respect to the
@@ -55,10 +75,16 @@ type Result struct {
 
 // Beams converts the result into a constructive multi-beam lobe list.
 func (r Result) Beams(angles []float64) ([]multibeam.Beam, error) {
+	return r.BeamsInto(angles, nil)
+}
+
+// BeamsInto is Beams appending into dst's storage (dst may be nil), so a
+// caller that keeps a lobe buffer across rounds stays off the allocator.
+func (r Result) BeamsInto(angles []float64, dst []multibeam.Beam) ([]multibeam.Beam, error) {
 	if len(angles) != len(r.Relative)+1 {
 		return nil, fmt.Errorf("probe: %d angles vs %d relative estimates", len(angles), len(r.Relative))
 	}
-	beams := []multibeam.Beam{multibeam.Reference(angles[0])}
+	beams := append(dst[:0], multibeam.Reference(angles[0]))
 	for k, e := range r.Relative {
 		beams = append(beams, multibeam.Beam{Angle: angles[k+1], Amp: e.Delta, Phase: e.Sigma})
 	}
@@ -70,8 +96,16 @@ func (r Result) Beams(angles []float64) ([]multibeam.Beam, error) {
 // second, plus the squared norm of the unnormalized sum (needed to undo
 // the TRP normalization when converting measured power back to |h1+e^{jψ}h2|²).
 func combinedBeam(u *antenna.ULA, phiRef, phiK, psi float64) (cmx.Vector, float64) {
-	sum := u.SingleBeam(phiRef)
-	sum = sum.Add(u.SingleBeam(phiK).Scaled(cmplx.Exp(complex(0, psi))))
+	return combinedBeamInto(u, phiRef, phiK, psi, nil, nil)
+}
+
+// combinedBeamInto is combinedBeam building the pattern in dst with tmp as
+// the second-beam staging buffer (both allocated when nil). The arithmetic
+// is element-for-element identical to the allocating path: matched beam,
+// plus e^{jψ} times the second matched beam, then L2 normalization.
+func combinedBeamInto(u *antenna.ULA, phiRef, phiK, psi float64, dst, tmp cmx.Vector) (cmx.Vector, float64) {
+	sum := u.SingleBeamInto(phiRef, dst)
+	sum = sum.AddScaled(cmplx.Exp(complex(0, psi)), u.SingleBeamInto(phiK, tmp))
 	n2 := sum.Norm2()
 	return sum.Normalize(), n2
 }
@@ -95,19 +129,41 @@ func EstimatePair(p Prober, u *antenna.ULA, phiRef, phiK float64, m1, m2 []float
 // realistic delay spread. relDelay is Δτ in seconds; bandwidthHz is the
 // sounder bandwidth (both 0 to disable compensation).
 func EstimatePairWithDelay(p Prober, u *antenna.ULA, phiRef, phiK float64, m1, m2 []float64, relDelay, bandwidthHz float64) (Estimate, error) {
+	return EstimatePairWithDelayWS(p, u, phiRef, phiK, m1, m2, relDelay, bandwidthHz, nil)
+}
+
+// EstimatePairWithDelayWS is EstimatePairWithDelay drawing every working
+// buffer — both probing patterns, both CSI landings (when p implements
+// IntoProber), and the per-subcarrier channel reconstruction — from ws
+// under a mark/release pair, so a steady-state refinement round runs
+// without touching the allocator. ws may be nil (plain allocation); the
+// arithmetic and the probe/randomness order are identical either way.
+func EstimatePairWithDelayWS(p Prober, u *antenna.ULA, phiRef, phiK float64, m1, m2 []float64, relDelay, bandwidthHz float64, ws *scratch.Workspace) (Estimate, error) {
 	if len(m1) != len(m2) || len(m1) == 0 {
 		return Estimate{}, fmt.Errorf("probe: magnitude length mismatch %d vs %d", len(m1), len(m2))
 	}
-	w3, n3 := combinedBeam(u, phiRef, phiK, 0)
-	w4, n4 := combinedBeam(u, phiRef, phiK, math.Pi/2)
-	csi3 := p.Probe(w3)
-	csi4 := p.Probe(w4)
+	var wa, wb, wtmp, ca, cb, h1, h2 cmx.Vector
+	if ws != nil {
+		mk := ws.Mark()
+		defer ws.Release(mk)
+		wa, wb = cmx.Vector(ws.Complex(u.N)), cmx.Vector(ws.Complex(u.N))
+		wtmp = cmx.Vector(ws.Complex(u.N))
+		ca, cb = cmx.Vector(ws.Complex(len(m1))), cmx.Vector(ws.Complex(len(m1)))
+		h1, h2 = cmx.Vector(ws.Complex(len(m1))), cmx.Vector(ws.Complex(len(m1)))
+	} else {
+		h1 = make(cmx.Vector, len(m1))
+		h2 = make(cmx.Vector, len(m1))
+	}
+	w3, n3 := combinedBeamInto(u, phiRef, phiK, 0, wa, wtmp)
+	w4, n4 := combinedBeamInto(u, phiRef, phiK, math.Pi/2, wb, wtmp)
+	csi3 := probeInto(p, w3, ca)
+	csi4 := probeInto(p, w4, cb)
 	if len(csi3) != len(m1) || len(csi4) != len(m1) {
 		return Estimate{}, fmt.Errorf("probe: CSI length %d != %d", len(csi3), len(m1))
 	}
 	// Reconstruct per-subcarrier h1 (reference, positive real) and h2.
-	h1 := make(cmx.Vector, len(m1))
-	h2 := make(cmx.Vector, len(m1))
+	// h1/h2 are zeroed (fresh make or zeroed workspace checkout), so dead
+	// reference subcarriers skipped below stay at exactly zero.
 	for f := range m1 {
 		p1 := m1[f] * m1[f]
 		p2 := m2[f] * m2[f]

@@ -209,6 +209,23 @@ func (tr *Tracker) Anchor(k int, power float64) error {
 	return nil
 }
 
+// Reanchor re-references every beam to the given powers (linear) in
+// place — state-for-state equivalent to building a fresh tracker with New,
+// but reusing the retained history storage so a re-anchoring maintenance
+// round stays off the allocator. The beam count must match; use New when
+// the beam set changes.
+func (tr *Tracker) Reanchor(initPowers []float64) error {
+	if len(initPowers) != len(tr.bs) {
+		return fmt.Errorf("track: %d powers for %d beams", len(initPowers), len(tr.bs))
+	}
+	for k, p := range initPowers {
+		if err := tr.Anchor(k, p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Blocked reports whether beam k is currently marked blocked.
 func (tr *Tracker) Blocked(k int) bool { return tr.bs[k].blocked }
 

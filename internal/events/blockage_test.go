@@ -178,3 +178,58 @@ func TestWalkingBlockerShape(t *testing.T) {
 		}
 	}
 }
+
+// TestEmptyScheduleIsNeutral: the empty (and nil) schedule is a valid
+// no-op — zero loss on every path at every time, never active, and clean
+// under Validate/Sorted. Callers (sim.Scenario, the station engine) rely
+// on nil Blockage meaning "no blockage" without special-casing.
+func TestEmptyScheduleIsNeutral(t *testing.T) {
+	for _, s := range []Schedule{nil, {}} {
+		for _, path := range []int{0, 3, 999} {
+			for _, tm := range []float64{0, 0.5, 1e6} {
+				if got := s.LossAt(path, tm); got != 0 {
+					t.Fatalf("empty schedule LossAt(%d, %g) = %g", path, tm, got)
+				}
+			}
+		}
+		if s.AnyActive(0.5) {
+			t.Fatal("empty schedule reports active")
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("empty schedule invalid: %v", err)
+		}
+		if got := s.Sorted(); len(got) != 0 {
+			t.Fatalf("empty schedule sorted to %d events", len(got))
+		}
+	}
+}
+
+// TestOverlappingIntervalsThroughRamps: overlapping events on one path sum
+// sample-by-sample even where one event is still ramping while the other
+// holds or falls — the physical model for two blockers crossing the same
+// path. Coincident identical events double exactly.
+func TestOverlappingIntervalsThroughRamps(t *testing.T) {
+	a := Event{PathIndex: 0, Start: 0, Duration: 0.3, DepthDB: 20, RampTime: 0.1}  // holds 0.1–0.4, clears 0.5
+	b := Event{PathIndex: 0, Start: 0.35, Duration: 0.3, DepthDB: 10, RampTime: 0.1} // ramps 0.35–0.45
+	s := Schedule{a, b}
+	cases := []struct{ t, want float64 }{
+		{0.05, 10},      // a mid-ramp, b not started
+		{0.40, 20 + 5},  // a holding (last instant), b mid-ramp: 10·(0.05/0.1)
+		{0.45, 10 + 10}, // a mid-fall over 0.4–0.5: 20·(1−0.05/0.1); b fully risen
+		{0.60, 0 + 10},  // a cleared, b holding
+	}
+	for _, c := range cases {
+		if got := s.LossAt(0, c.t); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("overlap LossAt(%g) = %g want %g", c.t, got, c.want)
+		}
+	}
+	// Coincident identical events double.
+	twin := Schedule{a, a}
+	if got, want := twin.LossAt(0, 0.2), 2*a.LossAt(0.2); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("coincident events: %g want %g", got, want)
+	}
+	// The overlap never leaks onto other paths.
+	if got := s.LossAt(1, 0.4); got != 0 {
+		t.Fatalf("overlap leaked to path 1: %g", got)
+	}
+}

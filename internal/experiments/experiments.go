@@ -87,6 +87,7 @@ func All() []Experiment {
 		{"e2", "Extension: multi-gNB handover on serving-cell death", ExtensionHandover},
 		{"e3", "Extension: measured-CQI rate adaptation vs genie MCS", ExtensionRateAdaptation},
 		{"e4", "Extension: 2-user hybrid beamforming (§8)", ExtensionMultiUser},
+		{"e5", "Extension: multi-UE serving-cell capacity under a probe budget", ExtensionStation},
 	}
 }
 

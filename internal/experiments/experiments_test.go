@@ -28,8 +28,8 @@ func cell(t *testing.T, table interface{ String() string }, label string, col in
 
 func TestAllExperimentsRegistered(t *testing.T) {
 	all := All()
-	if len(all) != 29 {
-		t.Fatalf("experiments %d, want 29", len(all))
+	if len(all) != 30 {
+		t.Fatalf("experiments %d, want 30", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {
@@ -281,6 +281,26 @@ func TestExtensionLandmarks(t *testing.T) {
 	}
 	if aware <= tdm {
 		t.Fatalf("spatial multiplexing %g not above TDM %g", aware, tdm)
+	}
+}
+
+func TestExtensionStationLandmarks(t *testing.T) {
+	tb := ExtensionStation(quickCfg())
+	rel2 := cell(t, tb, "2", 1)
+	rel8 := cell(t, tb, "8", 1)
+	if rel2 < 0.9 || rel8 < 0.9 {
+		t.Fatalf("serving-cell reliability collapsed: 2 UEs %g, 8 UEs %g", rel2, rel8)
+	}
+	// The probe budget bounds aggregate overhead: the per-session training
+	// share must not grow with the UE count (it can only shrink or hold).
+	ov2 := cell(t, tb, "2", 3)
+	ov8 := cell(t, tb, "8", 3)
+	if ov8 > ov2+1 {
+		t.Fatalf("training overhead grew with load: 2 UEs %g%%, 8 UEs %g%%", ov2, ov8)
+	}
+	// Starvation guard: even the worst-served UE got a nonzero grant share.
+	if r := cell(t, tb, "8", 7); r <= 0 {
+		t.Fatalf("some session starved at 8 UEs: min/max grant ratio %g", r)
 	}
 }
 

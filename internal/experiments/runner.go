@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"mmreliable/internal/scratch"
+	"mmreliable/internal/seeds"
 )
 
 // This file is the deterministic parallel experiment engine: every
@@ -37,33 +38,14 @@ const (
 	labelAblationA5    int64 = 905
 	labelExtIRS        int64 = 951
 	labelExtHandover   int64 = 961
+	labelExtStation    int64 = 981
 )
 
-// splitmix64 is the SplitMix64 finalizer (Steele et al., "Fast splittable
-// pseudorandom number generators"): a bijective avalanche mix whose output
-// decorrelates even adjacent inputs, so seed+1 and seed+2 derive unrelated
-// streams — unlike the raw additive offsets ("seed+161") the experiments
-// used before, which collide as soon as two call sites pick overlapping
-// constants.
-func splitmix64(x uint64) uint64 {
-	x += 0x9E3779B97F4A7C15
-	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
-	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
-	return x ^ (x >> 31)
-}
-
-// mixSeed folds the parts into one well-mixed 63-bit stream seed. Each part
-// passes through the SplitMix64 finalizer before being folded, so distinct
-// (seed, label, trial, sub) tuples map to distinct streams with
-// overwhelming probability and no structured collisions.
-func mixSeed(parts ...int64) int64 {
-	h := uint64(0x8E5B_D2F0_9D8A_731D)
-	for _, p := range parts {
-		h = splitmix64(h ^ uint64(p))
-	}
-	// math/rand sources take the seed mod 2^63-1; clear the sign bit.
-	return int64(h &^ (1 << 63))
-}
+// mixSeed folds the parts into one well-mixed 63-bit stream seed via the
+// shared SplitMix64 derivation (internal/seeds) — the same construction the
+// station serving engine uses for per-UE session streams, so labels drawn
+// from this file's namespace never collide with session streams either.
+func mixSeed(parts ...int64) int64 { return seeds.Mix(parts...) }
 
 // stream returns a deterministic generator for the given label path. The
 // stream depends only on (Seed, labels...) — not on Workers, scheduling, or

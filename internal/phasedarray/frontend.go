@@ -33,6 +33,13 @@ type FrontEnd struct {
 	active    cmx.Vector
 	busyUntil float64
 	switches  int
+	// setBufs double-buffer the quantized weights SetWeights programs, so
+	// steady-state reprogramming stays off the allocator. Two buffers keep
+	// ActiveView's contract intact: a view taken before the latest
+	// SetWeights still reads the previous weights, and the documented
+	// rule — never retain a view across a switch — covers the rest.
+	setBufs [2]cmx.Vector
+	setIdx  int
 }
 
 // New returns a front end for the given array and quantizer.
@@ -74,7 +81,13 @@ func (f *FrontEnd) SetWeights(w cmx.Vector, now float64) error {
 	if len(w) != f.Array.N {
 		return fmt.Errorf("phasedarray: weight length %d != %d elements", len(w), f.Array.N)
 	}
-	f.active = f.Quant.Apply(w)
+	buf := f.setBufs[f.setIdx]
+	if len(buf) != len(w) {
+		buf = make(cmx.Vector, len(w))
+	}
+	f.setBufs[f.setIdx] = f.Quant.ApplyInto(w, buf)
+	f.active = f.setBufs[f.setIdx]
+	f.setIdx ^= 1
 	f.busyUntil = now + f.SwitchLatency
 	f.switches++
 	return nil

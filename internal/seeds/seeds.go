@@ -1,0 +1,37 @@
+// Package seeds centralizes the SplitMix64-based deterministic stream
+// derivation used everywhere the repo shards work across goroutines: the
+// parallel experiment engine derives per-trial RNG streams from
+// (seed, experiment label, trial), and the station serving engine derives
+// per-UE session streams from (seed, station label, session id).
+//
+// The construction is the SplitMix64 finalizer (Steele et al., "Fast
+// splittable pseudorandom number generators") folded over the parts: a
+// bijective avalanche mix whose output decorrelates even adjacent inputs,
+// so (seed, L, 1) and (seed, L, 2) derive unrelated streams — unlike raw
+// additive offsets ("seed+161"), which collide as soon as two call sites
+// pick overlapping constants. Because a derived stream depends only on the
+// identity tuple — never on scheduling order or worker count — any
+// computation seeded through this package is byte-identical for any
+// sharding.
+package seeds
+
+// SplitMix64 is the SplitMix64 finalizer.
+func SplitMix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// Mix folds the parts into one well-mixed 63-bit stream seed. Each part
+// passes through the SplitMix64 finalizer before being folded, so distinct
+// (seed, label, trial, sub) tuples map to distinct streams with
+// overwhelming probability and no structured collisions.
+func Mix(parts ...int64) int64 {
+	h := uint64(0x8E5B_D2F0_9D8A_731D)
+	for _, p := range parts {
+		h = SplitMix64(h ^ uint64(p))
+	}
+	// math/rand sources take the seed mod 2^63-1; clear the sign bit.
+	return int64(h &^ (1 << 63))
+}

@@ -1,0 +1,52 @@
+package seeds
+
+import "testing"
+
+// TestMixMatchesLegacyDerivation pins the exact values the experiment
+// engine produced before the derivation moved into this package: every
+// committed figure table depends on these streams, so the refactor must be
+// bit-exact.
+func TestMixMatchesLegacyDerivation(t *testing.T) {
+	legacySplitmix := func(x uint64) uint64 {
+		x += 0x9E3779B97F4A7C15
+		x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+		x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+		return x ^ (x >> 31)
+	}
+	legacyMix := func(parts ...int64) int64 {
+		h := uint64(0x8E5B_D2F0_9D8A_731D)
+		for _, p := range parts {
+			h = legacySplitmix(h ^ uint64(p))
+		}
+		return int64(h &^ (1 << 63))
+	}
+	cases := [][]int64{
+		{1, 154, 0}, {1, 154, 1}, {1, 160, 0}, {7, 191, 12},
+		{-3, 901, 5}, {0}, {1 << 40, -9, 3, 3},
+	}
+	for _, c := range cases {
+		if got, want := Mix(c...), legacyMix(c...); got != want {
+			t.Fatalf("Mix(%v) = %d, legacy %d", c, got, want)
+		}
+	}
+}
+
+// TestMixProperties checks sign-bit clearing and stream distinctness over
+// a dense grid of adjacent tuples.
+func TestMixProperties(t *testing.T) {
+	seen := map[int64][]int64{}
+	for seed := int64(0); seed < 8; seed++ {
+		for label := int64(150); label < 170; label++ {
+			for trial := int64(0); trial < 64; trial++ {
+				v := Mix(seed, label, trial)
+				if v < 0 {
+					t.Fatalf("Mix(%d,%d,%d) = %d negative", seed, label, trial, v)
+				}
+				if prev, dup := seen[v]; dup {
+					t.Fatalf("collision: %v and (%d,%d,%d) both map to %d", prev, seed, label, trial, v)
+				}
+				seen[v] = []int64{seed, label, trial}
+			}
+		}
+	}
+}

@@ -36,6 +36,66 @@ type MultiScenario struct {
 	Fading   *Fading
 
 	subs []*Scenario
+	snap multiSnapshot
+}
+
+// multiSnapshot fingerprints the configuration fields the lazily-built
+// per-gNB sub-scenarios bake in, so a mutation after the first ChannelsAt
+// cannot silently keep serving channels from the stale cache. The UE trace
+// is excluded: traces are interface values whose dynamic types need not be
+// comparable (changing UE mid-run also requires Reset, it just cannot be
+// detected here).
+type multiSnapshot struct {
+	env      *env.Environment
+	tx       *antenna.ULA
+	fading   *Fading
+	duration float64
+	num      nr.Numerology
+	maxPaths int
+	gnbs     []env.Pose
+	blockage events.Schedule
+}
+
+// snapshot captures the current configuration fingerprint.
+func (sc *MultiScenario) snapshot() multiSnapshot {
+	return multiSnapshot{
+		env: sc.Env, tx: sc.TxArray, fading: sc.Fading,
+		duration: sc.Duration, num: sc.Num, maxPaths: sc.MaxPaths,
+		gnbs:     append([]env.Pose(nil), sc.GNBs...),
+		blockage: append(events.Schedule(nil), sc.Blockage...),
+	}
+}
+
+// stale reports whether the configuration has drifted from the cached
+// sub-scenarios' snapshot.
+func (sc *MultiScenario) stale() bool {
+	s := sc.snap
+	if sc.Env != s.env || sc.TxArray != s.tx || sc.Fading != s.fading ||
+		sc.Duration != s.duration || sc.Num != s.num || sc.MaxPaths != s.maxPaths ||
+		len(sc.GNBs) != len(s.gnbs) || len(sc.Blockage) != len(s.blockage) {
+		return true
+	}
+	for i, p := range sc.GNBs {
+		if p != s.gnbs[i] {
+			return true
+		}
+	}
+	for i, e := range sc.Blockage {
+		if e != s.blockage[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// Reset drops the cached per-gNB sub-scenarios so the next ChannelsAt
+// rebuilds them from the current configuration. Call it after mutating any
+// MultiScenario field once channels have been served; without it,
+// ChannelsAt panics on a detected mutation rather than serving channels
+// from the stale cache.
+func (sc *MultiScenario) Reset() {
+	sc.subs = nil
+	sc.snap = multiSnapshot{}
 }
 
 // Validate checks the scenario.
@@ -52,9 +112,15 @@ func (sc *MultiScenario) Validate() error {
 	return sc.Num.Validate()
 }
 
-// ChannelsAt returns one channel snapshot per gNB at time t.
+// ChannelsAt returns one channel snapshot per gNB at time t. The per-gNB
+// sub-scenarios are built once, on first call; mutating the MultiScenario
+// afterwards without calling Reset panics (stale-cache guard).
 func (sc *MultiScenario) ChannelsAt(t float64) []*channel.Model {
+	if sc.subs != nil && sc.stale() {
+		panic("sim: MultiScenario mutated after ChannelsAt built its sub-scenarios; call Reset() first")
+	}
 	if sc.subs == nil {
+		sc.snap = sc.snapshot()
 		sc.subs = make([]*Scenario, len(sc.GNBs))
 		for g, pose := range sc.GNBs {
 			sub := &Scenario{

@@ -119,3 +119,52 @@ func TestRunMultiDrivesScheme(t *testing.T) {
 		t.Fatalf("reliability %g", out["rec"].Summary.Reliability)
 	}
 }
+
+// TestMultiScenarioStaleCacheGuard: mutating a MultiScenario after its
+// sub-scenarios are cached must trip the guard instead of silently serving
+// channels built from the old configuration; Reset() rebuilds legitimately.
+func TestMultiScenarioStaleCacheGuard(t *testing.T) {
+	sc := multiScenario()
+	sc.ChannelsAt(0) // build the per-gNB cache
+
+	// Mutation without Reset: panic.
+	sc.Blockage = events.Schedule{{PathIndex: 0, Start: 0, Duration: 1, DepthDB: 30, RampTime: 1e-4}}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("ChannelsAt served channels from a stale cache without panicking")
+			}
+		}()
+		sc.ChannelsAt(0.01)
+	}()
+
+	// Reset then re-query: the new blockage takes effect.
+	sc.Reset()
+	ms := sc.ChannelsAt(0.01)
+	if ms[0].Paths[0].ExtraLossDB < 29 {
+		t.Fatalf("post-Reset blockage not applied: %g dB", ms[0].Paths[0].ExtraLossDB)
+	}
+
+	// Mutating the gNB list is likewise guarded.
+	sc2 := multiScenario()
+	sc2.ChannelsAt(0)
+	sc2.GNBs[1].Pos.X = 30
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("gNB pose mutation not detected")
+			}
+		}()
+		sc2.ChannelsAt(0.01)
+	}()
+	sc2.Reset()
+	if got := len(sc2.ChannelsAt(0)); got != 2 {
+		t.Fatalf("post-Reset channels %d", got)
+	}
+
+	// An unmutated scenario keeps working across calls (no false positives).
+	sc3 := multiScenario()
+	for i := 0; i < 3; i++ {
+		sc3.ChannelsAt(float64(i) * 1e-3)
+	}
+}

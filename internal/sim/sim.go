@@ -150,6 +150,17 @@ func (sc *Scenario) ChannelAt(t float64) *channel.Model {
 	return m
 }
 
+// ChannelInto rebuilds m in place as the channel snapshot at time t — the
+// allocation-free variant of ChannelAt for persistent-model slot loops
+// (Runner.Run, the station serving engine). The model should have
+// Reuse = true so path/response storage is recycled across slots.
+//
+// The scenario's per-slot scratch (trace buffer, stable-id map) is reused
+// by every call, so a Scenario must never be shared between goroutines.
+func (sc *Scenario) ChannelInto(t float64, m *channel.Model) {
+	sc.channelInto(t, m)
+}
+
 // channelInto rebuilds m in place as the channel snapshot at time t — the
 // per-slot variant of ChannelAt behind Runner.Run. The trace runs ONCE per
 // slot (the stable-id mapping reuses the same paths instead of re-tracing),

@@ -1,0 +1,75 @@
+package station
+
+import (
+	"testing"
+
+	"mmreliable/internal/nr"
+	"mmreliable/internal/seeds"
+	"mmreliable/internal/sim"
+)
+
+// BenchmarkStationSlot measures steady-state serving throughput in
+// session·slots per second: an 8-UE station stepping whole frames on the
+// inline single-worker path (the per-slot cost without goroutine overhead).
+func BenchmarkStationSlot(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.Workers = 1
+	st, err := New(nr.Mu3(), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const ues = 8
+	for i := 0; i < ues; i++ {
+		s := seeds.Mix(41, int64(i))
+		if _, err := st.Attach(SessionConfig{
+			Scenario: sim.StaticIndoor(s),
+			Budget:   sim.IndoorBudget(),
+			Seed:     s,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		st.AdvanceFrame() // establish + warm buffers
+	}
+	slotsPerOp := ues * st.SlotsPerFrame()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.AdvanceFrame()
+	}
+	b.StopTimer()
+	perSlot := float64(b.Elapsed().Nanoseconds()) / float64(b.N*slotsPerOp)
+	b.ReportMetric(perSlot, "ns/sessionslot")
+	b.ReportMetric(1e9/perSlot, "sessionslots/s")
+}
+
+// BenchmarkStationFrameParallel measures the same workload sharded across
+// the worker pool — the scaling the capacity experiment leans on.
+func BenchmarkStationFrameParallel(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.Workers = 4
+	st, err := New(nr.Mu3(), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const ues = 8
+	for i := 0; i < ues; i++ {
+		s := seeds.Mix(41, int64(i))
+		if _, err := st.Attach(SessionConfig{
+			Scenario: sim.StaticIndoor(s),
+			Budget:   sim.IndoorBudget(),
+			Seed:     s,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		st.AdvanceFrame()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.AdvanceFrame()
+	}
+}

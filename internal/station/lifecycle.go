@@ -1,0 +1,41 @@
+package station
+
+// Session lifecycle: admission control and attach/detach processing. All
+// transitions happen at frame boundaries on the coordinator, so they are
+// deterministic regardless of worker count, and a session's manager/model
+// state is never touched concurrently with a transition.
+
+// processEvents admits pending sessions whose attach time has arrived
+// (subject to the MaxSessions cap) and tears down sessions whose detach
+// time has passed. t0 is the starting time of the frame about to run.
+func (st *Station) processEvents(t0 float64) {
+	// Admissions: pending is sorted by (AttachAt, id).
+	for len(st.pending) > 0 && st.pending[0].attachAt <= t0 {
+		ss := st.pending[0]
+		st.pending = st.pending[1:]
+		if len(st.active) >= st.cfg.MaxSessions {
+			ss.state = sessionRejected
+			st.counters.AttachesRejected++
+			continue
+		}
+		ss.state = sessionActive
+		ss.effectiveAttach = t0
+		ss.lastGrantFrame = st.frame
+		st.active = append(st.active, ss)
+		st.counters.AttachesAdmitted++
+	}
+	// Departures: graceful teardown — the session keeps its manager and
+	// meter (frozen at detach) so its results remain reportable, and its
+	// slot is freed for future admissions.
+	keep := st.active[:0]
+	for _, ss := range st.active {
+		if ss.detachAt > 0 && ss.detachAt <= t0 {
+			ss.state = sessionDetached
+			ss.detachedAt = t0
+			st.counters.Detaches++
+			continue
+		}
+		keep = append(keep, ss)
+	}
+	st.active = keep
+}

@@ -1,0 +1,51 @@
+package station
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"mmreliable/internal/scratch"
+)
+
+// runSessions steps every active session through the frame starting at t0,
+// sharded across the worker pool. Sessions are claimed with an atomic
+// counter — which worker runs which session is scheduling-dependent, but
+// irrelevant to the output: a session's entire world is session-private,
+// and the per-worker scratch arenas hand out zeroed checkouts, so a
+// session computes bit-identical results on any worker. The WaitGroup
+// barrier publishes all session state back to the coordinator.
+func (st *Station) runSessions(t0 float64) {
+	n := len(st.active)
+	if n == 0 {
+		return
+	}
+	w := st.workers
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		// Inline path: zero goroutines, zero allocations — the path the
+		// steady-state allocation pin (TestStationSlotAllocs) exercises.
+		ws := st.ws[0]
+		for _, ss := range st.active {
+			ss.runFrame(st, t0, ws)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func(ws *scratch.Workspace) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				st.active[i].runFrame(st, t0, ws)
+			}
+		}(st.ws[k])
+	}
+	wg.Wait()
+}
