@@ -17,6 +17,7 @@ import (
 
 	"mmreliable/internal/antenna"
 	"mmreliable/internal/channel"
+	"mmreliable/internal/cluster"
 	"mmreliable/internal/cmx"
 	"mmreliable/internal/core/manager"
 	"mmreliable/internal/core/multibeam"
@@ -93,6 +94,7 @@ func BenchmarkExtensionHandover(b *testing.B)    { runFigure(b, "e2") }
 func BenchmarkExtensionRateAdapt(b *testing.B)   { runFigure(b, "e3") }
 func BenchmarkExtensionMultiUser(b *testing.B)   { runFigure(b, "e4") }
 func BenchmarkExtensionStation(b *testing.B)     { runFigure(b, "e5") }
+func BenchmarkExtensionCluster(b *testing.B)     { runFigure(b, "e6") }
 
 // Micro-benchmarks for the hot per-slot/per-probe paths, to show the
 // reproduction's algorithmic costs (the paper reports its super-resolution
@@ -302,4 +304,36 @@ func BenchmarkStationSlot(b *testing.B) {
 	perSlot := float64(b.Elapsed().Nanoseconds()) / float64(b.N*slotsPerOp)
 	b.ReportMetric(perSlot, "ns/sessionslot")
 	b.ReportMetric(1e9/perSlot, "sessionslots/s")
+}
+
+// BenchmarkClusterFrame measures the CoMP coordinator's steady-state cost
+// through the public cluster API: a quiescent 2-cell/2-UE hall deployment
+// (single-worker stations, tracking ablated as in the cluster package's
+// own alloc pin), one 20 ms cluster frame per iteration — both member
+// stations' slot loops plus the coordinator's monitor/harvest work.
+func BenchmarkClusterFrame(b *testing.B) {
+	e, poses := env.MultiCellHall(env.Band28GHz(), 2)
+	ccfg := cluster.DefaultConfig()
+	ccfg.Seed = 31
+	ccfg.Station.Workers = 1
+	ccfg.Station.Manager.ProactiveTracking = false
+	cl, err := cluster.New(nr.Mu3(), ccfg, cluster.Deployment{
+		Env: e, Cells: poses, Budget: sim.IndoorBudget(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, pos := range env.HallUEPositions(2) {
+		if _, err := cl.AddUE(cluster.UEConfig{Pos: pos}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := 0; i < 40; i++ {
+		cl.AdvanceFrame() // admit, establish both legs, warm buffers
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cl.AdvanceFrame()
+	}
 }

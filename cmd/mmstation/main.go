@@ -50,6 +50,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mmstation: -ues must be ≥ 1")
 		os.Exit(1)
 	}
+	if *budget < 0 {
+		fmt.Fprintln(os.Stderr, "mmstation: -budget must be ≥ 0")
+		os.Exit(1)
+	}
 	cfg := station.DefaultConfig()
 	cfg.ProbeBudget = *budget
 	cfg.FramePeriod = *frameMS * 1e-3

@@ -1,0 +1,17 @@
+package cluster
+
+import "testing"
+
+// BenchmarkClusterFrame measures the steady-state cluster frame loop on a
+// quiescent 2-cell/2-UE hall deployment (single-worker stations, tracking
+// ablated — the same fixture as the alloc pin). One iteration = one 20 ms
+// cluster frame: both member stations' slot loops plus the coordinator's
+// monitor/harvest work.
+func BenchmarkClusterFrame(b *testing.B) {
+	cl := quiesceCluster(b, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cl.AdvanceFrame()
+	}
+}

@@ -1,0 +1,118 @@
+package cluster
+
+import (
+	"mmreliable/internal/link"
+	"mmreliable/internal/station"
+)
+
+// Counters is the cluster's aggregate accounting.
+type Counters struct {
+	// Frames is the number of cluster frames executed.
+	Frames int
+	// Handovers counts serving↔standby promotions; PingPongs the subset
+	// that returned to the previous serving cell within the ping-pong
+	// window (should be zero on a static channel — the hysteresis test).
+	Handovers int
+	PingPongs int
+	// StandbyRetargets counts standby sessions torn down and re-pointed at
+	// a stronger monitored cell (plus standbys opened late).
+	StandbyRetargets int
+	// MonitorRounds / MonitorProbes count wide-beam monitoring activity;
+	// every probe is charged to the target cell's CSI-RS budget.
+	MonitorRounds int
+	MonitorProbes int
+	// UE lifecycle.
+	UEsAttached        int
+	UEsFinished        int
+	AdmissionDeferrals int
+}
+
+// UEOutcome is one UE's cluster-level result.
+type UEOutcome struct {
+	ID          int
+	ServingCell int // final serving cell (−1 if never admitted)
+	Handovers   int
+	PingPongs   int
+	// Serving is the serving-leg-only summary — what a handover-only
+	// deployment delivers. Diversity adds per-slot selection combining
+	// across the two live legs — the macro-diversity bound.
+	Serving   link.Summary
+	Diversity link.Summary
+	// MaxOutageMs is the longest serving-leg outage episode in ms;
+	// DivMaxOutageMs the same under selection combining.
+	MaxOutageMs    float64
+	DivMaxOutageMs float64
+}
+
+// Results is a deterministic snapshot of the cluster outcome.
+type Results struct {
+	PerUE    []UEOutcome
+	PerCell  []station.Results
+	Counters Counters
+	// MeanServingReliability / MeanDiversityReliability average per-UE
+	// reliability over every UE that recorded at least one measured slot.
+	MeanServingReliability   float64
+	MeanDiversityReliability float64
+	// AggThroughputBps sums per-UE mean serving-leg throughput — the cell
+	// cluster's carried load; AggDiversityThroughputBps the same under
+	// selection combining.
+	AggThroughputBps          float64
+	AggDiversityThroughputBps float64
+	// MaxOutageMs is the worst per-UE longest outage (serving leg) in ms;
+	// DivMaxOutageMs the same under selection combining — the
+	// handover-benefit headline (reliability alone hides blackout length).
+	MaxOutageMs    float64
+	DivMaxOutageMs float64
+	// OverheadPct is the aggregate beam-management overhead across all
+	// cells: training slots per session-slot, in percent — the §5
+	// low-overhead bound, which must stay flat as cells and UEs grow.
+	OverheadPct float64
+}
+
+// Results snapshots the current outcome. Safe to call between frames.
+func (cl *Cluster) Results() Results {
+	res := Results{Counters: cl.counters}
+	var trainSlots, sessSlots int64
+	for _, c := range cl.cells {
+		sr := c.st.Results()
+		res.PerCell = append(res.PerCell, sr)
+		trainSlots += int64(sr.Counters.TrainingSlots)
+		sessSlots += sr.Counters.SessionSlots
+	}
+	if sessSlots > 0 {
+		res.OverheadPct = 100 * float64(trainSlots) / float64(sessSlots)
+	}
+	var relS, relD float64
+	measured := 0
+	for _, u := range cl.ues {
+		out := UEOutcome{
+			ID:          u.id,
+			ServingCell: u.serving,
+			Handovers:   u.handovers,
+			PingPongs:   u.pingPongs,
+		}
+		if u.meter.Slots() > 0 {
+			out.Serving = u.meter.Summarize()
+			out.Diversity = u.divMeter.Summarize()
+			out.MaxOutageMs = float64(u.meter.MaxOutageSlots()) * cl.slotDur * 1e3
+			out.DivMaxOutageMs = float64(u.divMeter.MaxOutageSlots()) * cl.slotDur * 1e3
+			relS += out.Serving.Reliability
+			relD += out.Diversity.Reliability
+			res.AggThroughputBps += out.Serving.MeanThroughput
+			res.AggDiversityThroughputBps += out.Diversity.MeanThroughput
+			if out.MaxOutageMs > res.MaxOutageMs {
+				res.MaxOutageMs = out.MaxOutageMs
+			}
+			if out.DivMaxOutageMs > res.DivMaxOutageMs {
+				res.DivMaxOutageMs = out.DivMaxOutageMs
+			}
+			measured++
+		}
+		res.PerUE = append(res.PerUE, out)
+	}
+	if measured > 0 {
+		res.MeanServingReliability = relS / float64(measured)
+		res.MeanDiversityReliability = relD / float64(measured)
+	}
+	return res
+}

@@ -1,0 +1,149 @@
+package cluster
+
+import (
+	"mmreliable/internal/link"
+	"mmreliable/internal/sim"
+)
+
+// The handover half of the coordinator: per-UE metering, selection-
+// diversity combining, and the make-before-break FSM. Everything here runs
+// single-threaded at the frame barrier on state the member stations
+// published — the cluster's determinism rests on that.
+
+// pingPongWindowFrames is the window after a handover during which swapping
+// back to the previous serving cell counts as a ping-pong (25 frames =
+// 500 ms at the default 20 ms frame).
+const pingPongWindowFrames = 25
+
+// harvest runs after every cell's frame: fold each attached UE's per-slot
+// outcomes into its cluster-level meters (serving leg and the selection-
+// diversity combination of both live legs), then step its handover FSM.
+func (cl *Cluster) harvest(t0 float64) {
+	for _, u := range cl.ues {
+		if !u.attached {
+			continue
+		}
+		cl.meterUE(u, t0)
+		cl.stepFSM(u)
+	}
+}
+
+// meterUE records the frame's slots. The serving meter is what a
+// handover-only deployment delivers; the diversity meter picks, per slot,
+// the better of the serving and hot-standby legs — the selection-combining
+// macro-diversity bound (a blocker across one cell's link rarely shadows
+// the other cell's).
+func (cl *Cluster) meterUE(u *ue, t0 float64) {
+	serv := cl.cells[u.serving].st.SessionFrameSlots(u.sess[u.serving])
+	if serv == nil {
+		return
+	}
+	var sb []sim.Slot
+	if u.standby >= 0 {
+		sb = cl.cells[u.standby].st.SessionFrameSlots(u.sess[u.standby])
+	}
+	warmupEnd := u.effectiveAttach + cl.cfg.Warmup
+	for k, s := range serv {
+		if t0+float64(k)*cl.slotDur < warmupEnd {
+			continue
+		}
+		u.meter.Record(s.SNRdB, s.Training, s.ThroughputBps)
+		best := s
+		if k < len(sb) && betterLeg(sb[k], best) {
+			best = sb[k]
+		}
+		u.divMeter.Record(best.SNRdB, best.Training, best.ThroughputBps)
+	}
+}
+
+// betterLeg reports whether slot a beats slot b for selection combining: a
+// data slot always beats a training slot; among equals, higher SNR wins.
+func betterLeg(a, b sim.Slot) bool {
+	if a.Training != b.Training {
+		return !a.Training
+	}
+	return a.SNRdB > b.SNRdB
+}
+
+// stepFSM advances the UE's handover state machine one frame, on
+// barrier-published session state only.
+func (cl *Cluster) stepFSM(u *ue) {
+	if u.standby < 0 {
+		u.ttt = 0
+		return
+	}
+	sst := cl.cells[u.serving].st
+	servSNR := sst.SessionLastSNR(u.sess[u.serving])
+	degraded := sst.SessionDropDB(u.sess[u.serving]) > cl.cfg.DropTriggerDB ||
+		servSNR < link.OutageThresholdDB ||
+		!sst.SessionEstablished(u.sess[u.serving])
+	bst := cl.cells[u.standby].st
+	better := bst.SessionEstablished(u.sess[u.standby]) &&
+		bst.SessionLastSNR(u.sess[u.standby]) > servSNR+cl.cfg.HysteresisDB
+	if degraded && better {
+		u.ttt++
+	} else {
+		u.ttt = 0
+	}
+	if u.ttt >= cl.cfg.TimeToTrigger && cl.frame-u.lastSwapFrame >= cl.cfg.MinStayFrames {
+		cl.swap(u)
+	}
+}
+
+// swap promotes the hot standby to serving — make-before-break: the
+// standby's manager is already established and maintained, so the promotion
+// is a relabeling at the boundary, with zero training gap. The old serving
+// session stays live as the new standby (it may recover, or the next
+// monitor round retargets it).
+func (cl *Cluster) swap(u *ue) {
+	if u.standby == u.prevServing && cl.frame-u.lastSwapFrame <= pingPongWindowFrames {
+		u.pingPongs++
+		cl.counters.PingPongs++
+	}
+	u.prevServing = u.serving
+	u.serving, u.standby = u.standby, u.serving
+	u.lastSwapFrame = cl.frame
+	u.ttt = 0
+	u.handovers++
+	cl.counters.Handovers++
+}
+
+// retargetStandby re-points the UE's standby leg when the monitors say a
+// non-attached cell is clearly stronger (or opens a standby where none
+// exists). Runs only on monitor frames, right after the UE's monitor
+// probes, so the estimates are fresh. The comparison baseline for an
+// existing standby is its own session SNR — measured, not monitored.
+func (cl *Cluster) retargetStandby(u *ue) {
+	best, bestSNR := -1, 0.0
+	for c := range cl.cells {
+		if c == u.serving || c == u.standby || !u.monSeen[c] {
+			continue
+		}
+		if !cl.cells[c].canAdmit(cl.cfg.Station.MaxSessions) {
+			continue
+		}
+		if best < 0 || u.monEst[c] > bestSNR {
+			best, bestSNR = c, u.monEst[c]
+		}
+	}
+	if best < 0 {
+		return
+	}
+	if u.standby < 0 {
+		if err := u.attachLeg(cl, best, cl.Now()); err != nil {
+			panic(err)
+		}
+		u.standby = best
+		cl.counters.StandbyRetargets++
+		return
+	}
+	curSNR := cl.cells[u.standby].st.SessionLastSNR(u.sess[u.standby])
+	if bestSNR > curSNR+cl.cfg.RetargetMarginDB {
+		u.detachLeg(cl, u.standby)
+		if err := u.attachLeg(cl, best, cl.Now()); err != nil {
+			panic(err)
+		}
+		u.standby = best
+		cl.counters.StandbyRetargets++
+	}
+}

@@ -1,0 +1,230 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mmreliable/internal/antenna"
+	"mmreliable/internal/channel"
+	"mmreliable/internal/cmx"
+	"mmreliable/internal/env"
+	"mmreliable/internal/events"
+	"mmreliable/internal/link"
+	"mmreliable/internal/motion"
+	"mmreliable/internal/nr"
+	"mmreliable/internal/seeds"
+	"mmreliable/internal/sim"
+	"mmreliable/internal/station"
+)
+
+// UEConfig describes one UE joining the cluster.
+type UEConfig struct {
+	// Pos is the UE's (static) position in the deployment environment. The
+	// cluster layer models nomadic users — parked at a position for the
+	// session — because the handover story here is blockage-driven, not
+	// mobility-driven; the per-pair facing toward each cell stands in for a
+	// quasi-omni terminal panel.
+	Pos env.Vec2
+	// Blockage holds per-cell blockage schedules (index = cell, nil = that
+	// link is never blocked). A blocker crossing the UE's serving link
+	// shadows only that cell's paths — the geometry that makes a second
+	// cell worth having.
+	Blockage []events.Schedule
+	// AttachAt is the absolute time the UE arrives (0 = at start);
+	// admission happens at the first frame boundary ≥ AttachAt.
+	AttachAt float64
+	// DetachAt, when positive, is when the UE leaves; its metrics freeze at
+	// the first frame boundary ≥ DetachAt.
+	DetachAt float64
+}
+
+// ue is the coordinator's per-UE state: one scenario, monitor sounder, and
+// (lazily) one station session per cell, plus the handover FSM and the
+// cluster-level meters.
+type ue struct {
+	id  int
+	cfg UEConfig
+
+	// Per-cell radio state, index = cell.
+	scen    []*sim.Scenario  // private (UE,cell) world: shared env, cell pose, pair blockage/fading
+	sess    []int            // station session id at that cell, −1 if never attached
+	monSnd  []*nr.Sounder    // monitor sounders (lazily built)
+	monMod  []*channel.Model // monitor channel models (Reuse, lazily built)
+	monBeam []cmx.Vector     // wide probe beams (lazily built, retained)
+	monCSI  cmx.Vector       // probe CSI scratch, shared across cells
+	monEst  []float64        // monitor SNR estimates (narrow-beam-equivalent dB)
+	monSeen []bool
+
+	// Lifecycle.
+	attached        bool
+	done            bool
+	effectiveAttach float64
+
+	// Handover FSM.
+	serving, standby int // cell indices, −1 = none
+	ttt              int
+	lastSwapFrame    int
+	prevServing      int // cell served before the last swap (ping-pong detection)
+	handovers        int
+	pingPongs        int
+
+	// Cluster-level metrics: the serving leg alone (what a handover-only
+	// deployment delivers) and the per-slot selection-diversity combination
+	// of both live legs (the macro-diversity bound).
+	meter    *link.Meter
+	divMeter *link.Meter
+}
+
+// AddUE registers a UE with the cluster. Must be called before the frame
+// that admits it; safe any time between frames. Returns the UE id.
+func (cl *Cluster) AddUE(cfg UEConfig) (int, error) {
+	if cfg.DetachAt > 0 && cfg.DetachAt <= cfg.AttachAt {
+		return 0, fmt.Errorf("cluster: DetachAt %g ≤ AttachAt %g", cfg.DetachAt, cfg.AttachAt)
+	}
+	if len(cfg.Blockage) > len(cl.cells) {
+		return 0, fmt.Errorf("cluster: %d blockage schedules for %d cells", len(cfg.Blockage), len(cl.cells))
+	}
+	id := len(cl.ues)
+	n := len(cl.cells)
+	u := &ue{
+		id:          id,
+		cfg:         cfg,
+		scen:        make([]*sim.Scenario, n),
+		sess:        make([]int, n),
+		monSnd:      make([]*nr.Sounder, n),
+		monMod:      make([]*channel.Model, n),
+		monBeam:     make([]cmx.Vector, n),
+		monEst:      make([]float64, n),
+		monSeen:     make([]bool, n),
+		serving:     -1,
+		standby:     -1,
+		prevServing: -1, // no prior serving cell: a first swap is never a ping-pong
+		meter:       link.NewMeter(),
+		divMeter:    link.NewMeter(),
+	}
+	for c := range u.sess {
+		u.sess[c] = -1
+	}
+	for c := range cl.cells {
+		u.scen[c] = cl.pairScenario(u, c)
+		if err := u.scen[c].Validate(); err != nil {
+			return 0, err
+		}
+	}
+	cl.ues = append(cl.ues, u)
+	return id, nil
+}
+
+// pairScenario builds the private (UE, cell) world: the shared deployment
+// environment seen from that cell's pose, with the UE's panel facing the
+// cell (quasi-omni terminal turning toward whichever gNB it talks to), the
+// pair's blockage schedule, and a pair-private fading stream derived from
+// (Seed, labelFading, ue, cell) — collision-free under the shared
+// determinism contract.
+func (cl *Cluster) pairScenario(u *ue, c int) *sim.Scenario {
+	pose := cl.dep.Cells[c]
+	var blk events.Schedule
+	if c < len(u.cfg.Blockage) {
+		blk = u.cfg.Blockage[c]
+	}
+	fadeSeed := seeds.Mix(cl.cfg.Seed, labelFading, int64(u.id), int64(c))
+	return &sim.Scenario{
+		Env: cl.dep.Env,
+		GNB: pose,
+		UE: motion.Static{Pose: env.Pose{
+			Pos:    u.cfg.Pos,
+			Facing: env.FacingFrom(u.cfg.Pos, pose.Pos),
+		}},
+		Blockage: blk,
+		Duration: 3600, // cluster runs are bounded by Run(duration), not the scenario
+		Num:      cl.num,
+		TxArray:  antenna.NewULA(cl.cfg.ArrayElems, cl.dep.Env.Band.CarrierHz),
+		MaxPaths: 3,
+		Fading: sim.NewFading(sim.DefaultFadingSigmaDB, sim.DefaultFadingCoherence,
+			rand.New(rand.NewSource(fadeSeed))),
+	}
+}
+
+// attachLeg opens a station session for (u, cell c) at time t0. The
+// scenario is the pair's persistent world: ownership transfers to the
+// station session (its worker steps it inside frames; the coordinator only
+// ever touches it between frames, which is sequential with the workers).
+func (u *ue) attachLeg(cl *Cluster, c int, t0 float64) error {
+	id, err := cl.cells[c].st.Attach(station.SessionConfig{
+		Scenario: u.scen[c],
+		Budget:   cl.dep.Budget,
+		Seed:     seeds.Mix(cl.cfg.Seed, labelSession, int64(u.id), int64(c)),
+		AttachAt: t0,
+	})
+	if err != nil {
+		return err
+	}
+	u.sess[c] = id
+	cl.cells[c].queued++
+	return nil
+}
+
+// detachLeg tears down the UE's session at cell c (standby retargeting,
+// completed handovers). The pair's scenario stays with the UE and keeps
+// serving monitor probes; a later re-attach opens a fresh session (a new
+// manager that trains from scratch, as a real re-attach would).
+func (u *ue) detachLeg(cl *Cluster, c int) {
+	if id := u.sess[c]; id >= 0 && cl.cells[c].st.SessionActive(id) {
+		cl.cells[c].st.DetachNow(id)
+	}
+	u.sess[c] = -1
+}
+
+// monitorProbe fires one wide-beam probe on the (u, c) pair at time t and
+// folds the result into the pair's monitor EWMA. Returns the narrow-beam-
+// equivalent SNR estimate in dB. Steady-state zero-alloc: the sounder,
+// model, beam, and CSI scratch are all built once and retained.
+func (u *ue) monitorProbe(cl *Cluster, c int, t float64) float64 {
+	if u.monSnd[c] == nil {
+		seed := seeds.Mix(cl.cfg.Seed, labelMonitor, int64(u.id), int64(c))
+		snd, err := nr.NewSounder(cl.num, cl.dep.Budget.BandwidthHz, monitorNumSC,
+			cl.dep.Budget.NoiseToTxAmpRatio(), nr.DefaultImpairments(),
+			rand.New(rand.NewSource(seed)))
+		if err != nil {
+			panic(fmt.Sprintf("cluster: monitor sounder: %v", err))
+		}
+		u.monSnd[c] = snd
+		u.monMod[c] = &channel.Model{Reuse: true}
+		if u.monCSI == nil {
+			u.monCSI = make(cmx.Vector, monitorNumSC)
+		}
+	}
+	m := u.monMod[c]
+	u.scen[c].ChannelInto(t, m)
+	if len(m.Paths) == 0 {
+		u.monEst[c] = math.Inf(-1)
+		u.monSeen[c] = true
+		return u.monEst[c]
+	}
+	if u.monBeam[c] == nil {
+		// Point the wide beam at the pair's strongest geometric path once:
+		// static UEs keep their angles, only losses move (blockage/fading),
+		// so the beam never needs re-steering.
+		u.monBeam[c] = antenna.WideBeam(m.Tx, m.Paths[m.StrongestPath()].Path.AoD, cl.cfg.MonitorElems)
+	}
+	csi := u.monSnd[c].ProbeInto(m, u.monBeam[c], u.monCSI)
+	snr := cl.dep.Budget.WidebandSNRdB(csi) + cl.monGainDB
+	if !u.monSeen[c] {
+		u.monEst[c] = snr
+		u.monSeen[c] = true
+	} else {
+		u.monEst[c] += monitorAlpha * (snr - u.monEst[c])
+	}
+	return u.monEst[c]
+}
+
+// Monitor tuning constants.
+const (
+	// monitorNumSC is the monitor sounding width (matches the manager's
+	// default CSI-RS width so estimates are comparable).
+	monitorNumSC = 64
+	// monitorAlpha is the monitor EWMA constant: rounds are 100 ms apart,
+	// so a heavier weight on the newest probe keeps the estimate current.
+	monitorAlpha = 0.5
+)

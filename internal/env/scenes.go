@@ -103,3 +103,92 @@ func RandomOutdoor(rng *rand.Rand, band Band) (*Environment, Pose) {
 func FacingFrom(pos, target Vec2) float64 {
 	return target.Sub(pos).Angle()
 }
+
+// MultiCellHall builds the multi-cell indoor deployment scene: a 20 m × 12 m
+// exhibition-hall room with glass long walls and a couple of interior
+// reflectors, and `cells` gNBs mounted alternately on the south and north
+// walls, evenly spread along the hall's length, each facing the hall centre.
+// Every gNB sees most of the floor directly, and any interior point is
+// within ≈12 m of at least two gNBs once cells ≥ 2 — the geometry a
+// cooperating cluster needs for make-before-break handover. Interior
+// reflectors are deliberately low-transmission-loss materials (glass, wood)
+// so no floor position is in a dead shadow of every cell. Deterministic:
+// no randomness, so every caller with the same (band, cells) gets an
+// identical scene. Panics if cells < 1.
+func MultiCellHall(band Band, cells int) (*Environment, []Pose) {
+	if cells < 1 {
+		panic("env: MultiCellHall cells < 1")
+	}
+	const l, w = 20.0, 12.0
+	walls := []Wall{
+		{Seg: Segment{Vec2{0, 0}, Vec2{l, 0}}, Mat: Glass},      // south glass wall
+		{Seg: Segment{Vec2{l, 0}, Vec2{l, w}}, Mat: Concrete},   // east wall
+		{Seg: Segment{Vec2{l, w}, Vec2{0, w}}, Mat: Glass},      // north glass wall
+		{Seg: Segment{Vec2{0, w}, Vec2{0, 0}}, Mat: Drywall},    // west wall
+		{Seg: Segment{Vec2{4, 7.8}, Vec2{9, 7.8}}, Mat: Glass},  // glass partition
+		{Seg: Segment{Vec2{12, 4.2}, Vec2{16, 4.2}}, Mat: Wood}, // wooden display row
+	}
+	e := NewEnvironment(band, walls...)
+	center := Vec2{l / 2, w / 2}
+	poses := make([]Pose, cells)
+	for i := range poses {
+		x := l * (float64(i) + 0.5) / float64(cells)
+		y := 0.4
+		if i%2 == 1 {
+			y = w - 0.4
+		}
+		p := Vec2{x, y}
+		poses[i] = Pose{Pos: p, Facing: FacingFrom(p, center)}
+	}
+	return e, poses
+}
+
+// HallUEPositions returns n deterministic UE drop positions inside the
+// MultiCellHall floor: a near-square lattice with a 2 m margin from every
+// wall, filled row-major. The lattice pitch shrinks as n grows, so any UE
+// count fits; positions are a pure function of (i, n), which is what keeps
+// multi-worker cluster runs byte-identical.
+func HallUEPositions(n int) []Vec2 {
+	if n < 1 {
+		return nil
+	}
+	const l, w, margin = 20.0, 12.0, 2.0
+	cols := 1
+	for cols*cols < n {
+		cols++
+	}
+	rows := (n + cols - 1) / cols
+	pos := make([]Vec2, n)
+	for i := range pos {
+		r, c := i/cols, i%cols
+		fx, fy := 0.5, 0.5
+		if cols > 1 {
+			fx = float64(c) / float64(cols-1)
+		}
+		if rows > 1 {
+			fy = float64(r) / float64(rows-1)
+		}
+		pos[i] = Vec2{margin + (l-2*margin)*fx, margin + (w-2*margin)*fy}
+	}
+	return pos
+}
+
+// MultiCellStreet builds the multi-cell outdoor deployment scene: the
+// OutdoorStreet canyon with `cells` gNBs lamppost-mounted along the south
+// kerb every span/cells metres, each with its panel broadside facing
+// across the street (+y), so consecutive cells' coverage areas overlap by
+// roughly half a cell radius. Deterministic. Panics if cells < 1.
+func MultiCellStreet(band Band, cells int) (*Environment, []Pose) {
+	if cells < 1 {
+		panic("env: MultiCellStreet cells < 1")
+	}
+	e := OutdoorStreet(band)
+	const span = 90.0
+	poses := make([]Pose, cells)
+	for i := range poses {
+		x := span * (float64(i) + 0.5) / float64(cells)
+		p := Vec2{x, 0}
+		poses[i] = Pose{Pos: p, Facing: FacingFrom(p, Vec2{x, 12})}
+	}
+	return e, poses
+}

@@ -1,0 +1,113 @@
+package env
+
+import (
+	"math"
+	"testing"
+)
+
+// TestMultiCellHallGeometry pins the cluster deployment scene's contract:
+// the requested number of gNBs, all wall-mounted inside the hall, facing
+// the interior, every one of them with a direct (LOS) path to the hall
+// centre, and deterministic across calls.
+func TestMultiCellHallGeometry(t *testing.T) {
+	for cells := 1; cells <= 4; cells++ {
+		e, poses := MultiCellHall(Band28GHz(), cells)
+		if len(poses) != cells {
+			t.Fatalf("cells=%d: got %d poses", cells, len(poses))
+		}
+		for i, p := range poses {
+			if p.Pos.X < 0 || p.Pos.X > 20 || p.Pos.Y < 0 || p.Pos.Y > 12 {
+				t.Fatalf("cells=%d gNB %d outside hall: %+v", cells, i, p.Pos)
+			}
+			// The UE faces the gNB it is probing, exactly as the cluster's
+			// per-pair scenarios arrange (panel arrays only see the front
+			// half-space).
+			center := Pose{Pos: Vec2{10, 6}, Facing: FacingFrom(Vec2{10, 6}, p.Pos)}
+			paths := e.Trace(p, center)
+			// Every cell must be able to serve the hall centre with a
+			// strong path. 95 dB keeps the link comfortably above the
+			// outage threshold under the indoor budget. (Alternate paths
+			// vary by pose — macro-diversity in the cluster comes from
+			// multiple cells, not from any one cell's multipath.)
+			if len(paths) < 1 {
+				t.Fatalf("cells=%d gNB %d has no path to hall centre", cells, i)
+			}
+			if paths[0].LossDB > 95 {
+				t.Fatalf("cells=%d gNB %d strongest path %.1f dB, want ≤ 95", cells, i, paths[0].LossDB)
+			}
+			for j := 0; j < i; j++ {
+				if poses[j].Pos == p.Pos {
+					t.Fatalf("cells=%d gNBs %d and %d share a position", cells, j, i)
+				}
+			}
+		}
+	}
+	// Determinism: two calls produce identical poses.
+	_, a := MultiCellHall(Band28GHz(), 3)
+	_, b := MultiCellHall(Band28GHz(), 3)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("pose %d differs across calls: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestHallUEPositionsLattice checks the UE drop helper: n positions, all
+// within the hall with the 2 m margin, pairwise distinct, deterministic.
+func TestHallUEPositionsLattice(t *testing.T) {
+	if HallUEPositions(0) != nil {
+		t.Fatal("n=0 should return nil")
+	}
+	for _, n := range []int{1, 2, 7, 16, 33} {
+		pos := HallUEPositions(n)
+		if len(pos) != n {
+			t.Fatalf("n=%d: got %d positions", n, len(pos))
+		}
+		for i, p := range pos {
+			if p.X < 2-1e-9 || p.X > 18+1e-9 || p.Y < 2-1e-9 || p.Y > 10+1e-9 {
+				t.Fatalf("n=%d UE %d outside margin: %+v", n, i, p)
+			}
+			for j := 0; j < i; j++ {
+				if pos[j] == p {
+					t.Fatalf("n=%d UEs %d and %d coincide at %+v", n, j, i, p)
+				}
+			}
+		}
+	}
+}
+
+// TestMultiCellStreetGeometry pins the outdoor variant: gNBs along the
+// kerb, broadside across the street, ordered by x.
+func TestMultiCellStreetGeometry(t *testing.T) {
+	_, poses := MultiCellStreet(Band28GHz(), 3)
+	if len(poses) != 3 {
+		t.Fatalf("got %d poses", len(poses))
+	}
+	prevX := math.Inf(-1)
+	for i, p := range poses {
+		if p.Pos.X <= prevX {
+			t.Fatalf("gNB %d not ordered by x: %+v", i, poses)
+		}
+		prevX = p.Pos.X
+		if math.Abs(p.Facing-math.Pi/2) > 1e-9 {
+			t.Fatalf("gNB %d facing %g, want π/2 (across the street)", i, p.Facing)
+		}
+	}
+}
+
+// TestMultiCellPanics pins the caller-bug guard.
+func TestMultiCellPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { MultiCellHall(Band28GHz(), 0) },
+		func() { MultiCellStreet(Band28GHz(), 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("cells=0 did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -209,7 +209,7 @@ func TestEmptyScheduleIsNeutral(t *testing.T) {
 // holds or falls — the physical model for two blockers crossing the same
 // path. Coincident identical events double exactly.
 func TestOverlappingIntervalsThroughRamps(t *testing.T) {
-	a := Event{PathIndex: 0, Start: 0, Duration: 0.3, DepthDB: 20, RampTime: 0.1}  // holds 0.1–0.4, clears 0.5
+	a := Event{PathIndex: 0, Start: 0, Duration: 0.3, DepthDB: 20, RampTime: 0.1}    // holds 0.1–0.4, clears 0.5
 	b := Event{PathIndex: 0, Start: 0.35, Duration: 0.3, DepthDB: 10, RampTime: 0.1} // ramps 0.35–0.45
 	s := Schedule{a, b}
 	cases := []struct{ t, want float64 }{

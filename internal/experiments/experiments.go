@@ -88,6 +88,7 @@ func All() []Experiment {
 		{"e3", "Extension: measured-CQI rate adaptation vs genie MCS", ExtensionRateAdaptation},
 		{"e4", "Extension: 2-user hybrid beamforming (§8)", ExtensionMultiUser},
 		{"e5", "Extension: multi-UE serving-cell capacity under a probe budget", ExtensionStation},
+		{"e6", "Extension: multi-cell macro-diversity under serving-link blockage", ExtensionCluster},
 	}
 }
 

@@ -28,8 +28,8 @@ func cell(t *testing.T, table interface{ String() string }, label string, col in
 
 func TestAllExperimentsRegistered(t *testing.T) {
 	all := All()
-	if len(all) != 30 {
-		t.Fatalf("experiments %d, want 30", len(all))
+	if len(all) != 31 {
+		t.Fatalf("experiments %d, want 31", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {
@@ -301,6 +301,36 @@ func TestExtensionStationLandmarks(t *testing.T) {
 	// Starvation guard: even the worst-served UE got a nonzero grant share.
 	if r := cell(t, tb, "8", 7); r <= 0 {
 		t.Fatalf("some session starved at 8 UEs: min/max grant ratio %g", r)
+	}
+}
+
+func TestExtensionClusterLandmarks(t *testing.T) {
+	tb := ExtensionCluster(quickCfg())
+	// One cell has nowhere to run from a serving-link blocker: reliability
+	// collapses for the blockage dwell. Two cells recover the §7 target
+	// through the hot standby.
+	serv1 := cell(t, tb, "1", 1)
+	div1 := cell(t, tb, "1", 2)
+	div2 := cell(t, tb, "2", 2)
+	if serv1 >= 0.99 {
+		t.Fatalf("1-cell serving reliability %g — the blocker never bit", serv1)
+	}
+	if div1 != serv1 {
+		t.Fatalf("1-cell diversity %g differs from serving %g with no second leg", div1, serv1)
+	}
+	if div2 < 0.999 {
+		t.Fatalf("2-cell diversity reliability %g < 0.999", div2)
+	}
+	// The standby must also crush the worst blackout, not just the average.
+	if out1, divOut2 := cell(t, tb, "1", 3), cell(t, tb, "2", 4); divOut2 >= out1/10 {
+		t.Fatalf("2-cell diversity max outage %g ms not well below 1-cell %g ms", divOut2, out1)
+	}
+	// Handover without ping-pong.
+	if ho := cell(t, tb, "2", 5); ho < 1 {
+		t.Fatalf("no handovers executed at 2 cells: %g", ho)
+	}
+	if pp := cell(t, tb, "2", 6); pp != 0 {
+		t.Fatalf("%g ping-pongs at 2 cells", pp)
 	}
 }
 

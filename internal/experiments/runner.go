@@ -39,6 +39,7 @@ const (
 	labelExtIRS        int64 = 951
 	labelExtHandover   int64 = 961
 	labelExtStation    int64 = 981
+	labelExtCluster    int64 = 971
 )
 
 // mixSeed folds the parts into one well-mixed 63-bit stream seed via the

@@ -187,6 +187,48 @@ func TestMeterOutageEpisodes(t *testing.T) {
 	}
 }
 
+func TestMeterOutageDurations(t *testing.T) {
+	m := NewMeter()
+	// 20 | 3 3 3 | 20 | 3 | 20 20 | 3 3 (open episode)
+	seq := []float64{20, 3, 3, 3, 20, 3, 20, 20, 3, 3}
+	for _, s := range seq {
+		m.Record(s, false, 0)
+	}
+	if got := m.OutageSlots(); got != 6 {
+		t.Fatalf("outage slots = %d want 6", got)
+	}
+	if got := m.MaxOutageSlots(); got != 3 {
+		t.Fatalf("max outage run = %d want 3", got)
+	}
+	durs := m.OutageDurations(nil)
+	want := []float64{3, 1, 2} // closed 3, closed 1, open 2
+	if len(durs) != len(want) {
+		t.Fatalf("durations %v want %v", durs, want)
+	}
+	for i := range want {
+		if durs[i] != want[i] {
+			t.Fatalf("durations %v want %v", durs, want)
+		}
+	}
+	// Closing the open episode moves it into the closed list unchanged.
+	m.Record(20, false, 0)
+	durs = m.OutageDurations(durs[:0])
+	if len(durs) != 3 || durs[2] != 2 {
+		t.Fatalf("durations after close %v", durs)
+	}
+	s := m.Summarize()
+	if s.OutageSlots != 6 || s.MaxOutageSlots != 3 {
+		t.Fatalf("summary outage fields %+v", s)
+	}
+	// Training slots count toward outage durations too (the paper charges
+	// training time against availability).
+	m2 := NewMeter()
+	m2.Record(20, true, 0)
+	if m2.OutageSlots() != 1 || m2.MaxOutageSlots() != 1 {
+		t.Fatalf("training slot not counted: %d/%d", m2.OutageSlots(), m2.MaxOutageSlots())
+	}
+}
+
 func TestMeterInfSNR(t *testing.T) {
 	m := NewMeter()
 	m.Record(math.Inf(-1), false, 0)

@@ -20,6 +20,15 @@ type Meter struct {
 	minSNR     float64
 	outageRuns int
 	inOutage   bool
+
+	// Outage-duration tracking: how LONG the link stays down, not just how
+	// often. curRun is the length (slots) of the outage episode in
+	// progress; runs holds the closed episodes' lengths in slots (float64
+	// so they feed stats percentiles directly).
+	curRun      int
+	totalOutage int
+	maxRun      int
+	runs        []float64
 }
 
 // NewMeter returns an empty meter.
@@ -39,6 +48,18 @@ func (m *Meter) Record(snrDB float64, training bool, throughput float64) {
 	}
 	if outage && !m.inOutage {
 		m.outageRuns++
+	}
+	if outage {
+		m.curRun++
+		m.totalOutage++
+		if m.curRun > m.maxRun {
+			m.maxRun = m.curRun
+		}
+	} else if m.inOutage {
+		// Episode closed: record its duration. Append amortizes and the
+		// quiescent steady state (no outages) never touches the allocator.
+		m.runs = append(m.runs, float64(m.curRun))
+		m.curRun = 0
 	}
 	m.inOutage = outage
 	m.thrSum += throughput
@@ -85,6 +106,26 @@ func (m *Meter) MinSNRdB() float64 { return m.minSNR }
 // OutageEvents returns the number of distinct outage episodes.
 func (m *Meter) OutageEvents() int { return m.outageRuns }
 
+// OutageSlots returns the total number of unavailable slots.
+func (m *Meter) OutageSlots() int { return m.totalOutage }
+
+// MaxOutageSlots returns the length of the longest outage episode in
+// slots, the episode in progress included — the handover-benefit headline
+// (reliability hides whether the downtime came as one long blackout or
+// many short dips; the max duration does not).
+func (m *Meter) MaxOutageSlots() int { return m.maxRun }
+
+// OutageDurations appends every outage episode's duration in slots
+// (closed episodes plus the one in progress, in onset order) to dst and
+// returns it — float64 so the result feeds stats.Percentile directly.
+func (m *Meter) OutageDurations(dst []float64) []float64 {
+	dst = append(dst, m.runs...)
+	if m.curRun > 0 {
+		dst = append(dst, float64(m.curRun))
+	}
+	return dst
+}
+
 // TRProduct returns the throughput–reliability product (the paper's
 // headline comparison metric, Fig. 18c), in bits/s.
 func (m *Meter) TRProduct() float64 {
@@ -98,6 +139,10 @@ type Summary struct {
 	MeanSNRdB      float64
 	TRProduct      float64
 	OutageEvents   int
+	// OutageSlots / MaxOutageSlots report outage time (total and longest
+	// single episode, in slots) rather than episode count.
+	OutageSlots    int
+	MaxOutageSlots int
 }
 
 // Summarize returns the meter's metrics as a value.
@@ -108,6 +153,8 @@ func (m *Meter) Summarize() Summary {
 		MeanSNRdB:      m.MeanSNRdB(),
 		TRProduct:      m.TRProduct(),
 		OutageEvents:   m.OutageEvents(),
+		OutageSlots:    m.OutageSlots(),
+		MaxOutageSlots: m.MaxOutageSlots(),
 	}
 }
 

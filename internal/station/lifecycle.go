@@ -29,7 +29,7 @@ func (st *Station) processEvents(t0 float64) {
 	// slot is freed for future admissions.
 	keep := st.active[:0]
 	for _, ss := range st.active {
-		if ss.detachAt > 0 && ss.detachAt <= t0 {
+		if ss.detachNow || (ss.detachAt > 0 && ss.detachAt <= t0) {
 			ss.state = sessionDetached
 			ss.detachedAt = t0
 			st.counters.Detaches++

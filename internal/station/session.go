@@ -71,10 +71,12 @@ type Session struct {
 	grant  sessionGrant
 
 	attachAt, detachAt float64
+	detachNow          bool // forced teardown at the next boundary (DetachNow)
 	state              sessionState
 	effectiveAttach    float64 // frame-aligned admission time
 	detachedAt         float64
 	slotsRun           int64
+	frameSlots         []sim.Slot // last frame's per-slot outcomes (KeepFrameSlots)
 
 	// Scheduler inputs. Written by the worker that owns the session inside
 	// a frame, read by the coordinator at the barrier (the pool's WaitGroup
@@ -120,6 +122,9 @@ func (st *Station) Attach(cfg SessionConfig) (int, error) {
 		detachAt: cfg.DetachAt,
 		state:    sessionPending,
 	}
+	if st.cfg.KeepFrameSlots {
+		ss.frameSlots = make([]sim.Slot, 0, st.slotsPerFrame)
+	}
 	mgr.SetProbeGrant(&ss.grant)
 	st.sessions = append(st.sessions, ss)
 	// Sorted insert into pending by (AttachAt, id): ids are monotone, so a
@@ -140,11 +145,17 @@ func (st *Station) Attach(cfg SessionConfig) (int, error) {
 func (ss *Session) runFrame(st *Station, t0 float64, ws *scratch.Workspace) {
 	ws.Reset()
 	ss.mgr.UseWorkspace(ws)
+	if ss.frameSlots != nil {
+		ss.frameSlots = ss.frameSlots[:0]
+	}
 	warmupEnd := ss.effectiveAttach + st.cfg.Warmup
 	for k := 0; k < st.slotsPerFrame; k++ {
 		t := t0 + float64(k)*st.slotDur
 		ss.sc.ChannelInto(t, ss.model)
 		slot := ss.mgr.Step(t, ss.model)
+		if ss.frameSlots != nil {
+			ss.frameSlots = append(ss.frameSlots, slot)
+		}
 		if t >= warmupEnd {
 			ss.meter.Record(slot.SNRdB, slot.Training, slot.ThroughputBps)
 		}

@@ -60,6 +60,12 @@ type Config struct {
 	// wanted a maintenance grant and was denied — the starvation guard:
 	// any denied session's priority grows without bound until it wins.
 	AgingBoost float64
+	// KeepFrameSlots records every session's per-slot outcomes for the
+	// frame that just ran into a retained per-session buffer, readable at
+	// the barrier via SessionFrameSlots — the input a cluster coordinator
+	// needs for UE-level metering and selection-diversity combining.
+	// Costs slotsPerFrame slots of memory per session, nothing else.
+	KeepFrameSlots bool
 	// Manager configures every session's beam manager.
 	Manager manager.Config
 }
