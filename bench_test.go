@@ -211,6 +211,99 @@ func BenchmarkEffectiveWidebandInto(b *testing.B) {
 	}
 }
 
+// BenchmarkEffectiveWidebandBatch measures the planar batch evaluator on a
+// frame's worth of UEs: 8 clustered channels × 64 subcarriers per Eval,
+// through one shared workspace — the kernel the station's frame-barrier
+// batch pass and the cluster's monitor round both run on.
+func BenchmarkEffectiveWidebandBatch(b *testing.B) {
+	u := antenna.NewULA(8, 28e9)
+	fOffs := channel.SubcarrierOffsets(400e6, 64)
+	rng := rand.New(rand.NewSource(23))
+	const n = 8
+	models := make([]*channel.Model, n)
+	weights := make([]cmx.Vector, n)
+	for i := range models {
+		models[i] = channel.Cluster(rng, env.Band28GHz(), u, channel.DefaultClusterParams())
+		models[i].Reuse = true
+		weights[i] = u.SingleBeam(0.05 * float64(i))
+	}
+	ws := scratch.New()
+	var batch channel.WidebandBatch
+	batch.Reset(fOffs)
+	for i := range models {
+		batch.Add(models[i], weights[i])
+	}
+	mk := ws.Mark()
+	batch.Eval(ws) // warm caches and workspace
+	ws.Release(mk)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		batch.Reset(fOffs)
+		for k := range models {
+			batch.Add(models[k], weights[k])
+		}
+		m := ws.Mark()
+		batch.Eval(ws)
+		ws.Release(m)
+	}
+}
+
+// BenchmarkBatchedSlot measures the station's frame-barrier batch pass as
+// composed from the public pieces: gather each established grant's active
+// weights and channel model, run one WidebandBatch evaluation over the
+// frame's UEs, and fold every row to a wideband entry SNR. This is the
+// per-frame coordinator-side cost the batched planar backend adds (and the
+// per-slot work it amortises away); the station package pins the in-engine
+// variant.
+func BenchmarkBatchedSlot(b *testing.B) {
+	const ues = 8
+	mgrs := make([]*manager.Manager, ues)
+	models := make([]*channel.Model, ues)
+	for i := range mgrs {
+		mgr, err := manager.New(fmt.Sprintf("m%d", i), antenna.NewULA(8, 28e9),
+			link.DefaultBudget(), nr.Mu3(), manager.DefaultConfig(),
+			rand.New(rand.NewSource(seeds.Mix(41, int64(i)))))
+		if err != nil {
+			b.Fatal(err)
+		}
+		sc := sim.StaticIndoor(seeds.Mix(41, int64(i)))
+		if _, err := (sim.Runner{}).Run(sc, mgr); err != nil {
+			b.Fatal(err)
+		}
+		if !mgr.Established() {
+			b.Fatalf("manager %d not established after run", i)
+		}
+		m := sc.ChannelAt(sc.Duration)
+		m.Reuse = true
+		mgrs[i], models[i] = mgr, m
+	}
+	txLin, noiseLin := link.DefaultBudget().SNRTerms()
+	ws := scratch.New()
+	var batch channel.WidebandBatch
+	var sink float64
+	frame := func() {
+		batch.Reset(mgrs[0].Offsets())
+		for i := range mgrs {
+			batch.Add(models[i], mgrs[i].ActiveWeightsView())
+		}
+		mk := ws.Mark()
+		batch.Eval(ws)
+		for r := range mgrs {
+			re, im := batch.Row(r)
+			sink = link.WidebandSNRdBSplitTerms(re, im, txLin, noiseLin)
+		}
+		ws.Release(mk)
+	}
+	frame() // warm caches and workspace
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		frame()
+	}
+	_ = sink
+}
+
 // BenchmarkSuperresExtractInto is the frequency-domain fit on a
 // per-worker workspace — the steady-state maintenance-tick cost (0
 // allocs/op, pinned by TestExtractIntoAllocs as well).

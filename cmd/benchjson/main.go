@@ -25,10 +25,13 @@
 // The new side is a positional file or stdin; stdin may be either a JSON
 // map produced by this tool or raw `go test -bench` text (auto-detected).
 // A benchmark regresses when its ns/op grows by more than 15% (shared-CI
-// noise floor) or its allocs/op increases at all. Metadata and archival
-// keys (leading underscore, e.g. `_baseline`) are skipped. The report goes
-// to stdout; with -strict a regression also makes the exit status 1, so CI
-// can choose between an advisory report and a hard gate.
+// noise floor) AND by more than an absolute 250 ns floor — sub-microsecond
+// benchmarks jitter by more than 15% on timer noise alone — or when its
+// allocs/op increases at all. A slower new-side result sampled with fewer
+// than 20 iterations is reported as "skip" rather than gated on. Metadata
+// and archival keys (leading underscore, e.g. `_baseline`) are skipped. The
+// report goes to stdout; with -strict a regression also makes the exit
+// status 1, so CI can choose between an advisory report and a hard gate.
 package main
 
 import (
@@ -171,6 +174,29 @@ func emit(w *os.File, meta map[string]string, results map[string]Result) error {
 // a regression: shared CI runners jitter by ~10%, so the gate sits at 15%.
 const nsRegressionFrac = 0.15
 
+// nsRegressionFloorNs is the absolute ns/op growth a benchmark must also
+// exceed before it counts as a regression. Sub-microsecond benchmarks
+// jitter by tens of nanoseconds on shared runners — far more than 15% of a
+// 100 ns/op result — so the flat fractional rule alone flags pure timer
+// noise. A real regression on such a benchmark still trips the gate once it
+// costs more than this floor in absolute terms.
+const nsRegressionFloorNs = 250.0
+
+// minCompareIterations is the iteration count below which a new-side result
+// is considered too poorly sampled to gate on: a handful of iterations
+// (e.g. -benchtime 10x smoke runs) measures startup effects, not steady
+// state. Such comparisons are reported as "skip" instead of regressing.
+const minCompareIterations = 20
+
+// regressed reports whether new ns/op is a flagged regression over old:
+// both the fractional gate (nsRegressionFrac) and the absolute floor
+// (nsRegressionFloorNs) must be exceeded.
+func regressed(oldNs, newNs float64) bool {
+	return oldNs > 0 &&
+		newNs > oldNs*(1+nsRegressionFrac) &&
+		newNs-oldNs > nsRegressionFloorNs
+}
+
 // runCompare loads the old results from oldPath and the new results from
 // newPath (or stdin when empty), prints a comparison report, and returns
 // the process exit code: 1 when strict and at least one benchmark
@@ -213,9 +239,14 @@ func runCompare(oldPath, newPath string, strict bool) int {
 		if o.NsPerOp > 0 {
 			ratio = n.NsPerOp / o.NsPerOp
 		}
-		slower := o.NsPerOp > 0 && n.NsPerOp > o.NsPerOp*(1+nsRegressionFrac)
+		slower := regressed(o.NsPerOp, n.NsPerOp)
 		moreAllocs := o.AllocsPerOp != nil && n.AllocsPerOp != nil && *n.AllocsPerOp > *o.AllocsPerOp
+		underSampled := n.Iterations > 0 && n.Iterations < minCompareIterations
 		switch {
+		case slower && underSampled && !moreAllocs:
+			// Too few iterations to trust the timing; don't gate on it.
+			fmt.Printf("skip     %-36s %12.0f -> %12.0f ns/op (%.2fx, only %d iterations)\n",
+				name, o.NsPerOp, n.NsPerOp, ratio, n.Iterations)
 		case slower || moreAllocs:
 			regressions++
 			detail := ""
@@ -233,8 +264,8 @@ func runCompare(oldPath, newPath string, strict bool) int {
 		}
 	}
 	if regressions > 0 {
-		fmt.Printf("%d regression(s) (>%.0f%% ns/op or any allocs/op increase)\n",
-			regressions, nsRegressionFrac*100)
+		fmt.Printf("%d regression(s) (>%.0f%% and >%.0f ns/op, or any allocs/op increase)\n",
+			regressions, nsRegressionFrac*100, nsRegressionFloorNs)
 		if strict {
 			return 1
 		}

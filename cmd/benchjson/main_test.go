@@ -21,6 +21,32 @@ func TestParseResultsJSONSkipsUnderscoreKeys(t *testing.T) {
 	}
 }
 
+// TestRegressedNoiseFloor pins the two-sided regression gate: a flagged
+// regression must exceed BOTH the 15% fractional rule and the absolute
+// 250 ns floor, so sub-microsecond benchmarks cannot regress on timer
+// noise alone.
+func TestRegressedNoiseFloor(t *testing.T) {
+	cases := []struct {
+		name     string
+		old, new float64
+		want     bool
+	}{
+		{"fast bench, 60% slower but only 60ns", 100, 160, false},
+		{"fast bench, huge absolute growth", 100, 500, true},
+		{"slow bench, 10% growth under frac gate", 1e6, 1.1e6, false},
+		{"slow bench, 20% growth", 1e6, 1.2e6, true},
+		{"borderline: >15% but exactly at floor", 1000, 1250, false},
+		{"borderline: >15% and just over floor", 1000, 1251, true},
+		{"zero old ns never regresses", 0, 1e9, false},
+		{"improvement", 1e6, 5e5, false},
+	}
+	for _, c := range cases {
+		if got := regressed(c.old, c.new); got != c.want {
+			t.Errorf("%s: regressed(%g, %g) = %v want %v", c.name, c.old, c.new, got, c.want)
+		}
+	}
+}
+
 func TestParseResultsBenchText(t *testing.T) {
 	in := []byte("goos: linux\nBenchmarkY-8   100   456 ns/op   32 B/op   2 allocs/op\nPASS\n")
 	got, err := parseResults(in)

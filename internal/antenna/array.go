@@ -18,6 +18,7 @@ import (
 	"math/cmplx"
 
 	"mmreliable/internal/cmx"
+	"mmreliable/internal/dsp"
 )
 
 // SpeedOfLight in m/s.
@@ -64,10 +65,19 @@ func (u *ULA) SteeringInto(phi float64, dst cmx.Vector) cmx.Vector {
 		panic(fmt.Sprintf("antenna: steering dst length %d != %d elements", len(dst), u.N))
 	}
 	k := -2 * math.Pi * u.Spacing / u.Lambda * math.Sin(phi)
-	for n := range dst {
-		dst[n] = cmplx.Exp(complex(0, k*float64(n)))
-	}
+	dsp.Active().PhasorFillCmplx(dst, 0, k)
 	return dst
+}
+
+// SteeringSplitInto writes the steering vector a(φ) in planar layout into
+// (dstRe, dstIm), the form the batched wideband kernels consume directly.
+// Both slices must have length u.N.
+func (u *ULA) SteeringSplitInto(phi float64, dstRe, dstIm []float64) {
+	if len(dstRe) != u.N || len(dstIm) != u.N {
+		panic(fmt.Sprintf("antenna: steering dst lengths %d/%d != %d elements", len(dstRe), len(dstIm), u.N))
+	}
+	k := -2 * math.Pi * u.Spacing / u.Lambda * math.Sin(phi)
+	dsp.Active().PhasorFill(dstRe, dstIm, 0, k)
 }
 
 // SingleBeam returns the unit-norm matched (conjugate) beamforming weights

@@ -23,6 +23,7 @@ import (
 
 	"mmreliable/internal/antenna"
 	"mmreliable/internal/cmx"
+	"mmreliable/internal/dsp"
 	"mmreliable/internal/env"
 )
 
@@ -188,8 +189,8 @@ func (m *Model) Effective(w cmx.Vector, fOff float64) complex128 {
 // ---------------------------------------------------------------------------
 
 // phasorReseed is the recurrence length between exact re-seeds of the
-// frequency-ramp phasor.
-const phasorReseed = 64
+// frequency-ramp phasor, shared with every planar kernel implementation.
+const phasorReseed = dsp.PhasorReseed
 
 // pathSnap records the per-path inputs a cached factor was derived from;
 // a mismatch with the live PathState invalidates the cache.
@@ -213,6 +214,17 @@ type modelCache struct {
 	coef    []complex128 // amp·e^{jθ}·rxFactor; 0 for dead paths
 	steer   []cmx.Vector // cached a(φ_ℓ), one per path
 	delays  []float64
+	// Loss-independent factors of coef, kept so a loss-only mutation (per-
+	// slot fading/blockage on an otherwise static geometry) refreshes coef
+	// without re-deriving steering vectors, carrier phases, or RX dots:
+	// unitRe/unitIm hold e^{jθ_ℓ} (θ the carrier phase) and rxf the receive
+	// factor, so coef[l] = amp·(unitRe,unitIm)·rxf[l] in the exact operation
+	// order of a full rebuild.
+	rxf            []complex128
+	unitRe, unitIm []float64
+	// steerRe/steerIm are the planar steering rows (path l occupies
+	// [l·N, (l+1)·N)) the batched kernels consume directly.
+	steerRe, steerIm []float64
 	// steerBuf is the contiguous backing of steer when the cache was built
 	// for a Reuse model (nil otherwise): one slab of L·N elements that
 	// in-place rebuilds refill without touching the allocator. rxScratch
@@ -230,6 +242,25 @@ type modelCache struct {
 // (m.RxWeights = v) is caught, in-place element edits require
 // InvalidateCache.
 func (c *modelCache) valid(m *Model) bool {
+	if !c.geomValid(m) {
+		return false
+	}
+	for i := range c.snaps {
+		p := &m.Paths[i]
+		s := &c.snaps[i]
+		if s.lossDB != p.LossDB || s.extraLoss != p.ExtraLossDB {
+			return false
+		}
+	}
+	return true
+}
+
+// geomValid is valid minus the per-path loss compare: it reports whether
+// everything the loss-independent cached factors (steering, carrier phasor,
+// RX factor, delays) were derived from still matches m. When geomValid holds
+// but valid does not, only losses moved — the per-slot fading/blockage case —
+// and refreshLoss can renew coef in place without a full rebuild.
+func (c *modelCache) geomValid(m *Model) bool {
 	if c.epoch != m.epoch || c.carrier != m.Band.CarrierHz || c.tx != m.Tx || c.rx != m.Rx {
 		return false
 	}
@@ -246,13 +277,29 @@ func (c *modelCache) valid(m *Model) bool {
 	for i := range c.snaps {
 		p := &m.Paths[i]
 		s := &c.snaps[i]
-		if s.lossDB != p.LossDB || s.extraLoss != p.ExtraLossDB ||
-			s.extraPhase != p.ExtraPhase || s.delay != p.Delay ||
+		if s.extraPhase != p.ExtraPhase || s.delay != p.Delay ||
 			s.aoD != p.AoD || s.aoA != p.AoA || s.phasePi != p.PhasePi {
 			return false
 		}
 	}
 	return true
+}
+
+// refreshLoss renews the loss-dependent slice of the cache — amp and coef —
+// from the cached unit carrier phasors and RX factors, in the exact
+// operation order of a full rebuild (amp·cosθ, amp·sinθ, complex multiply by
+// rxf), so a loss-only refresh and a rebuild produce identical bits. Only
+// called on Reuse models (single goroutine), which makes the in-place
+// mutation of the published cache safe.
+func (c *modelCache) refreshLoss(m *Model) {
+	kern := dsp.Active()
+	for l := range m.Paths {
+		p := &m.Paths[l]
+		c.snaps[l].lossDB = p.LossDB
+		c.snaps[l].extraLoss = p.ExtraLossDB
+		amp := kern.AmpFromDB(p.LossDB + p.ExtraLossDB)
+		c.coef[l] = complex(amp*c.unitRe[l], amp*c.unitIm[l]) * c.rxf[l]
+	}
 }
 
 // InvalidateCache marks the factored-kernel cache stale. Callers that
@@ -267,10 +314,17 @@ func (m *Model) InvalidateCache() { m.epoch++ }
 // if the model changed since the last build. Concurrent readers may race to
 // rebuild an identical cache; the atomic publish keeps that benign.
 func (m *Model) pathCache() *modelCache {
-	if c := (*modelCache)(atomic.LoadPointer(&m.cache)); c != nil && c.valid(m) {
+	c := (*modelCache)(atomic.LoadPointer(&m.cache))
+	if c != nil && c.valid(m) {
 		return c
 	}
-	c := m.buildCache()
+	if m.Reuse && c != nil && c.steerBuf != nil && c.geomValid(m) {
+		// Loss-only mutation on a single-goroutine model: renew coef in
+		// place instead of re-deriving steering/phasors/RX factors.
+		c.refreshLoss(m)
+		return c
+	}
+	c = m.buildCache()
 	atomic.StorePointer(&m.cache, unsafe.Pointer(c))
 	return c
 }
@@ -285,12 +339,17 @@ func (m *Model) buildCache() *modelCache {
 		c = (*modelCache)(atomic.LoadPointer(&m.cache))
 	}
 	if c == nil || cap(c.snaps) < nP || cap(c.steerBuf) < nP*m.Tx.N ||
-		(m.Reuse && c.steerBuf == nil) {
+		cap(c.steerRe) < nP*m.Tx.N || (m.Reuse && c.steerBuf == nil) {
 		c = &modelCache{
-			snaps:  make([]pathSnap, nP),
-			coef:   make([]complex128, nP),
-			steer:  make([]cmx.Vector, nP),
-			delays: make([]float64, nP),
+			snaps:   make([]pathSnap, nP),
+			coef:    make([]complex128, nP),
+			steer:   make([]cmx.Vector, nP),
+			delays:  make([]float64, nP),
+			rxf:     make([]complex128, nP),
+			unitRe:  make([]float64, nP),
+			unitIm:  make([]float64, nP),
+			steerRe: make([]float64, nP*m.Tx.N),
+			steerIm: make([]float64, nP*m.Tx.N),
 		}
 		if m.Reuse {
 			c.steerBuf = make([]complex128, nP*m.Tx.N)
@@ -300,6 +359,11 @@ func (m *Model) buildCache() *modelCache {
 	c.coef = c.coef[:nP]
 	c.steer = c.steer[:nP]
 	c.delays = c.delays[:nP]
+	c.rxf = c.rxf[:nP]
+	c.unitRe = c.unitRe[:nP]
+	c.unitIm = c.unitIm[:nP]
+	c.steerRe = c.steerRe[:nP*m.Tx.N]
+	c.steerIm = c.steerIm[:nP*m.Tx.N]
 	c.epoch = m.epoch
 	c.carrier = m.Band.CarrierHz
 	c.tx = m.Tx
@@ -309,6 +373,7 @@ func (m *Model) buildCache() *modelCache {
 	if len(m.RxWeights) > 0 {
 		c.rxHead = &m.RxWeights[0]
 	}
+	kern := dsp.Active()
 	for l := range m.Paths {
 		p := &m.Paths[l]
 		c.snaps[l] = pathSnap{
@@ -316,7 +381,7 @@ func (m *Model) buildCache() *modelCache {
 			delay: p.Delay, aoD: p.AoD, aoA: p.AoA, phasePi: p.PhasePi,
 		}
 		c.delays[l] = p.Delay
-		amp := math.Pow(10, -(p.LossDB+p.ExtraLossDB)/20)
+		amp := kern.AmpFromDB(p.LossDB + p.ExtraLossDB)
 		rxf := complex128(1)
 		if m.Rx != nil && m.RxWeights != nil {
 			if c.steerBuf != nil {
@@ -328,13 +393,19 @@ func (m *Model) buildCache() *modelCache {
 				rxf = m.rxFactor(p.AoA)
 			}
 		}
-		c.coef[l] = cmplx.Rect(amp, m.carrierPhase(l)) * rxf
+		c.rxf[l] = rxf
+		// cmplx.Rect(amp, θ) is exactly complex(amp·cosθ, amp·sinθ); keeping
+		// the unit phasor lets refreshLoss rebuild coef bit-identically.
+		ph := m.carrierPhase(l)
+		c.unitRe[l], c.unitIm[l] = math.Cos(ph), math.Sin(ph)
+		c.coef[l] = complex(amp*c.unitRe[l], amp*c.unitIm[l]) * rxf
+		n := m.Tx.N
 		if c.steerBuf != nil {
-			n := m.Tx.N
 			c.steer[l] = m.Tx.SteeringInto(p.AoD, c.steerBuf[l*n:(l+1)*n:(l+1)*n])
 		} else {
 			c.steer[l] = m.Tx.Steering(p.AoD)
 		}
+		m.Tx.SteeringSplitInto(p.AoD, c.steerRe[l*n:(l+1)*n], c.steerIm[l*n:(l+1)*n])
 	}
 	return c
 }
@@ -427,9 +498,65 @@ func (m *Model) EffectiveWidebandInto(w cmx.Vector, fOffs []float64, dst cmx.Vec
 	return dst
 }
 
+// EffectiveWidebandSplitInto is EffectiveWidebandInto with a planar
+// destination: the effective wideband channel under TX beam w lands in
+// (dstRe, dstIm), the layout the batched DSP kernels and the planar SNR
+// reduction consume without an interleave pass. Both slices must have length
+// len(fOffs). The arithmetic runs on the active dsp.Kernel; under
+// dsp.Reference it reproduces EffectiveWidebandInto bit for bit, under the
+// planar kernel it agrees to ≤1e-12 (pinned by the factored property tests).
+func (m *Model) EffectiveWidebandSplitInto(w cmx.Vector, fOffs []float64, dstRe, dstIm []float64) {
+	if len(dstRe) != len(fOffs) || len(dstIm) != len(fOffs) {
+		panic(fmt.Sprintf("channel: wideband planar dst lengths %d/%d != %d offsets",
+			len(dstRe), len(dstIm), len(fOffs)))
+	}
+	kern := dsp.Active()
+	c := m.pathCache()
+	for k := range dstRe {
+		dstRe[k] = 0
+		dstIm[k] = 0
+	}
+	step, uniform := uniformStep(fOffs)
+	n := m.Tx.N
+	for l := range c.coef {
+		base := c.coef[l]
+		if base == 0 {
+			continue
+		}
+		dotRe, dotIm := kern.DotSplit(c.steerRe[l*n:(l+1)*n], c.steerIm[l*n:(l+1)*n], w)
+		// base·dot in the componentwise order the complex multiply lowers to.
+		clRe := real(base)*dotRe - imag(base)*dotIm
+		clIm := real(base)*dotIm + imag(base)*dotRe
+		tau := c.delays[l]
+		if tau == 0 {
+			for k := range dstRe {
+				dstRe[k] += clRe
+				dstIm[k] += clIm
+			}
+			continue
+		}
+		if !uniform {
+			for k, f := range fOffs {
+				th := -2 * math.Pi * f * tau
+				pc, ps := math.Cos(th), math.Sin(th)
+				dstRe[k] += clRe*pc - clIm*ps
+				dstIm[k] += clRe*ps + clIm*pc
+			}
+			continue
+		}
+		kern.PhasorRampAxpy(dstRe, dstIm, clRe, clIm,
+			-2*math.Pi*fOffs[0]*tau, -2*math.Pi*step*tau)
+	}
+}
+
 // SubcarrierOffsets returns nsc baseband frequency offsets uniformly
-// spanning bandwidth bw, centered on the carrier.
+// spanning bandwidth bw, centered on the carrier. Non-positive nsc yields
+// nil (an empty grid), so degenerate configurations evaluate to empty
+// responses instead of panicking downstream.
 func SubcarrierOffsets(bw float64, nsc int) []float64 {
+	if nsc <= 0 {
+		return nil
+	}
 	out := make([]float64, nsc)
 	if nsc == 1 {
 		return out
@@ -463,9 +590,11 @@ func (m *Model) Clone() *Model {
 // RxWeights capacity — the steady-state companion of Clone for per-worker
 // persistent models: clone once, then CopyStateFrom every slot without
 // touching the allocator. The receiver's Reuse flag and cache backing are
-// kept (the cache is explicitly invalidated, since in-place RxWeights
-// reuse is invisible to the snapshot check); src is not mutated and its
-// cache is never shared.
+// kept; src is not mutated and its cache is never shared. The cache is
+// invalidated only when the in-place RxWeights copy changed element values
+// (the one mutation the per-path snapshot check cannot see) — everything
+// else the copy touches is snapshot-visible, so an unchanged-weights copy
+// keeps loss-only cache refreshes (refreshLoss) available to the slot loop.
 func (m *Model) CopyStateFrom(src *Model) {
 	m.Band = src.Band
 	m.Tx = src.Tx
@@ -473,18 +602,29 @@ func (m *Model) CopyStateFrom(src *Model) {
 	if src.RxWeights == nil {
 		m.RxWeights = nil
 	} else {
+		rxSame := len(m.RxWeights) == len(src.RxWeights)
+		if rxSame {
+			for i := range src.RxWeights {
+				if m.RxWeights[i] != src.RxWeights[i] {
+					rxSame = false
+					break
+				}
+			}
+		}
 		if cap(m.RxWeights) < len(src.RxWeights) {
 			m.RxWeights = make(cmx.Vector, len(src.RxWeights))
 		}
 		m.RxWeights = m.RxWeights[:len(src.RxWeights)]
 		copy(m.RxWeights, src.RxWeights)
+		if !rxSame {
+			m.InvalidateCache()
+		}
 	}
 	if cap(m.Paths) < len(src.Paths) {
 		m.Paths = make([]PathState, len(src.Paths))
 	}
 	m.Paths = m.Paths[:len(src.Paths)]
 	copy(m.Paths, src.Paths)
-	m.InvalidateCache()
 }
 
 // StrongestPath returns the index of the path with the lowest total loss,

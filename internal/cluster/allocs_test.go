@@ -1,12 +1,27 @@
 package cluster
 
 import (
+	"runtime"
 	"testing"
 
 	"mmreliable/internal/env"
 	"mmreliable/internal/nr"
 	"mmreliable/internal/sim"
 )
+
+// heapBytesPerRun measures the mean heap bytes allocated per call of f —
+// the bytes/op half of the zero-alloc contract (see the station pin).
+func heapBytesPerRun(runs int, f func()) float64 {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	f() // warm up once outside the measured window
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	for i := 0; i < runs; i++ {
+		f()
+	}
+	runtime.ReadMemStats(&m1)
+	return float64(m1.TotalAlloc-m0.TotalAlloc) / float64(runs)
+}
 
 // quiesceCluster builds a fading-free 2-cell/2-UE cluster and runs it past
 // establishment: the quiescent steady state whose frame loop the alloc pin
@@ -56,5 +71,10 @@ func TestClusterSlotAllocs(t *testing.T) {
 	avg := testing.AllocsPerRun(10, cl.AdvanceFrame)
 	if avg != 0 {
 		t.Fatalf("AdvanceFrame allocates %.1f allocs/frame in steady state, want 0", avg)
+	}
+	// Bytes too — amortized episode-buffer appends used to leak ~240 B/frame
+	// here while rounding to 0 allocs/op.
+	if bytes := heapBytesPerRun(50, cl.AdvanceFrame); bytes != 0 {
+		t.Fatalf("AdvanceFrame allocates %.1f B/frame in steady state, want 0", bytes)
 	}
 }

@@ -30,9 +30,11 @@ import (
 	"fmt"
 	"math"
 
+	"mmreliable/internal/channel"
 	"mmreliable/internal/env"
 	"mmreliable/internal/link"
 	"mmreliable/internal/nr"
+	"mmreliable/internal/scratch"
 	"mmreliable/internal/station"
 )
 
@@ -149,6 +151,19 @@ type Cluster struct {
 	// monGainDB compensates the wide beam's reduced gain so monitor
 	// estimates approximate the SNR a trained narrow beam would reach.
 	monGainDB float64
+
+	// Monitor-round batch state: every (UE, non-attached cell) pair's
+	// wideband evaluation runs through one planar channel.WidebandBatch
+	// sweep per round instead of interleaving with sounder bookkeeping.
+	monWS    *scratch.Workspace
+	monBatch channel.WidebandBatch
+	monPairs []monPair // registration order, (UE asc, cell asc)
+}
+
+// monPair is one batched (UE, cell) monitor registration.
+type monPair struct {
+	u *ue
+	c int
 }
 
 // New builds a cluster over the deployment. The member stations share the
@@ -189,6 +204,7 @@ func New(num nr.Numerology, cfg Config, dep Deployment) (*Cluster, error) {
 		num:       num,
 		dep:       dep,
 		monGainDB: 10 * math.Log10(float64(cfg.ArrayElems)/float64(cfg.MonitorElems)),
+		monWS:     scratch.New(),
 	}
 	for i := range dep.Cells {
 		st, err := station.New(num, scfg)
@@ -315,8 +331,19 @@ func (cl *Cluster) finishUE(u *ue) {
 // in (UE ascending, cell ascending) order, updating the per-pair monitor
 // EWMAs and charging each probe to the target cell's CSI-RS budget. Runs at
 // the frame's end time t1, after the cells' slot loops have finished.
+//
+// The round is batched through the planar DSP backend: a gather pass
+// advances every pair's channel model and registers its wide beam with one
+// channel.WidebandBatch, the batch evaluates all pairs back-to-back on the
+// active kernel, and a fold pass feeds each planar row to the pair's
+// sounder (ProbeFromSplit — the same RNG draws as ProbeInto) and updates
+// the monitor EWMA. Standby retargets run after all probes; they read only
+// monitor estimates and admission state, and relative retarget order across
+// UEs is preserved, so decisions match the pair-at-a-time schedule.
 func (cl *Cluster) monitorRound(t1 float64) {
 	cl.counters.MonitorRounds++
+	cl.monPairs = cl.monPairs[:0]
+	first := true
 	for _, u := range cl.ues {
 		if !u.attached {
 			continue
@@ -325,10 +352,34 @@ func (cl *Cluster) monitorRound(t1 float64) {
 			if c == u.serving || c == u.standby {
 				continue
 			}
-			u.monitorProbe(cl, c, t1)
 			cl.counters.MonitorProbes++
 			cl.cells[c].st.ChargeExternalProbes(1)
+			u.ensureMonitor(cl, c)
+			if first {
+				cl.monBatch.Reset(u.monSnd[c].SubcarrierOffsets())
+				first = false
+			}
+			m := u.refreshMonitorModel(cl, c, t1)
+			if m == nil {
+				continue // fully shadowed: −Inf recorded, no probe fired
+			}
+			cl.monBatch.Add(m, u.monBeam[c])
+			cl.monPairs = append(cl.monPairs, monPair{u: u, c: c})
 		}
-		cl.retargetStandby(u)
+	}
+	if len(cl.monPairs) > 0 {
+		mk := cl.monWS.Mark()
+		cl.monBatch.Eval(cl.monWS)
+		for r, p := range cl.monPairs {
+			re, im := cl.monBatch.Row(r)
+			csi := p.u.monSnd[p.c].ProbeFromSplit(re, im, p.u.monCSI)
+			p.u.foldMonitorEstimate(cl, p.c, csi)
+		}
+		cl.monWS.Release(mk)
+	}
+	for _, u := range cl.ues {
+		if u.attached {
+			cl.retargetStandby(u)
+		}
 	}
 }

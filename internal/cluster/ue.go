@@ -176,39 +176,50 @@ func (u *ue) detachLeg(cl *Cluster, c int) {
 	u.sess[c] = -1
 }
 
-// monitorProbe fires one wide-beam probe on the (u, c) pair at time t and
-// folds the result into the pair's monitor EWMA. Returns the narrow-beam-
-// equivalent SNR estimate in dB. Steady-state zero-alloc: the sounder,
-// model, beam, and CSI scratch are all built once and retained.
-func (u *ue) monitorProbe(cl *Cluster, c int, t float64) float64 {
-	if u.monSnd[c] == nil {
-		seed := seeds.Mix(cl.cfg.Seed, labelMonitor, int64(u.id), int64(c))
-		snd, err := nr.NewSounder(cl.num, cl.dep.Budget.BandwidthHz, monitorNumSC,
-			cl.dep.Budget.NoiseToTxAmpRatio(), nr.DefaultImpairments(),
-			rand.New(rand.NewSource(seed)))
-		if err != nil {
-			panic(fmt.Sprintf("cluster: monitor sounder: %v", err))
-		}
-		u.monSnd[c] = snd
-		u.monMod[c] = &channel.Model{Reuse: true}
-		if u.monCSI == nil {
-			u.monCSI = make(cmx.Vector, monitorNumSC)
-		}
+// ensureMonitor lazily builds the (u, c) pair's monitor sounder, channel
+// model, and shared CSI scratch. Idempotent; every monitor path calls it
+// before touching the pair.
+func (u *ue) ensureMonitor(cl *Cluster, c int) {
+	if u.monSnd[c] != nil {
+		return
 	}
+	seed := seeds.Mix(cl.cfg.Seed, labelMonitor, int64(u.id), int64(c))
+	snd, err := nr.NewSounder(cl.num, cl.dep.Budget.BandwidthHz, monitorNumSC,
+		cl.dep.Budget.NoiseToTxAmpRatio(), nr.DefaultImpairments(),
+		rand.New(rand.NewSource(seed)))
+	if err != nil {
+		panic(fmt.Sprintf("cluster: monitor sounder: %v", err))
+	}
+	u.monSnd[c] = snd
+	u.monMod[c] = &channel.Model{Reuse: true}
+	if u.monCSI == nil {
+		u.monCSI = make(cmx.Vector, monitorNumSC)
+	}
+}
+
+// refreshMonitorModel advances the pair's channel model to time t and
+// returns it, or nil after recording a −Inf estimate when the pair has no
+// geometric paths (fully shadowed — no probe is fired, matching a sounder
+// that hears nothing). Also lazily points the pair's wide beam at the
+// strongest geometric path: static UEs keep their angles, only losses move
+// (blockage/fading), so the beam never needs re-steering.
+func (u *ue) refreshMonitorModel(cl *Cluster, c int, t float64) *channel.Model {
 	m := u.monMod[c]
 	u.scen[c].ChannelInto(t, m)
 	if len(m.Paths) == 0 {
 		u.monEst[c] = math.Inf(-1)
 		u.monSeen[c] = true
-		return u.monEst[c]
+		return nil
 	}
 	if u.monBeam[c] == nil {
-		// Point the wide beam at the pair's strongest geometric path once:
-		// static UEs keep their angles, only losses move (blockage/fading),
-		// so the beam never needs re-steering.
 		u.monBeam[c] = antenna.WideBeam(m.Tx, m.Paths[m.StrongestPath()].Path.AoD, cl.cfg.MonitorElems)
 	}
-	csi := u.monSnd[c].ProbeInto(m, u.monBeam[c], u.monCSI)
+	return m
+}
+
+// foldMonitorEstimate converts a probe's CSI into the narrow-beam-equivalent
+// SNR estimate and folds it into the pair's monitor EWMA.
+func (u *ue) foldMonitorEstimate(cl *Cluster, c int, csi cmx.Vector) float64 {
 	snr := cl.dep.Budget.WidebandSNRdB(csi) + cl.monGainDB
 	if !u.monSeen[c] {
 		u.monEst[c] = snr
@@ -217,6 +228,22 @@ func (u *ue) monitorProbe(cl *Cluster, c int, t float64) float64 {
 		u.monEst[c] += monitorAlpha * (snr - u.monEst[c])
 	}
 	return u.monEst[c]
+}
+
+// monitorProbe fires one wide-beam probe on the (u, c) pair at time t and
+// folds the result into the pair's monitor EWMA. Returns the narrow-beam-
+// equivalent SNR estimate in dB. Steady-state zero-alloc: the sounder,
+// model, beam, and CSI scratch are all built once and retained. Admission
+// probing uses this single-pair form; monitor rounds batch the wideband
+// evaluation across every pair instead (Cluster.monitorRound).
+func (u *ue) monitorProbe(cl *Cluster, c int, t float64) float64 {
+	u.ensureMonitor(cl, c)
+	m := u.refreshMonitorModel(cl, c, t)
+	if m == nil {
+		return u.monEst[c]
+	}
+	csi := u.monSnd[c].ProbeInto(m, u.monBeam[c], u.monCSI)
+	return u.foldMonitorEstimate(cl, c, csi)
 }
 
 // Monitor tuning constants.

@@ -1,0 +1,28 @@
+package cmx
+
+// Planar layout helpers: the batched DSP kernels (internal/dsp) operate on
+// separate re/im []float64 slices, which the Go compiler auto-vectorizes far
+// more readily than []complex128 loops. These converters are the boundary
+// between the interleaved complex world (FFTs, weights, public APIs) and the
+// planar hot path; both directions are trivially vectorizable themselves.
+
+// Split copies the interleaved vector src into the planar pair (re, im).
+// All three slices must have equal length.
+func Split(src []complex128, re, im []float64) {
+	_ = re[:len(src)]
+	_ = im[:len(src)]
+	for i, v := range src {
+		re[i] = real(v)
+		im[i] = imag(v)
+	}
+}
+
+// Combine copies the planar pair (re, im) into the interleaved vector dst.
+// All three slices must have equal length.
+func Combine(re, im []float64, dst []complex128) {
+	_ = re[:len(dst)]
+	_ = im[:len(dst)]
+	for i := range dst {
+		dst[i] = complex(re[i], im[i])
+	}
+}

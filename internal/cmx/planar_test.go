@@ -1,0 +1,27 @@
+package cmx
+
+import "testing"
+
+func TestSplitCombineRoundTrip(t *testing.T) {
+	src := []complex128{complex(1, -2), complex(0.5, 3.25), complex(-7, 0), complex(0, 0)}
+	re := make([]float64, len(src))
+	im := make([]float64, len(src))
+	Split(src, re, im)
+	for i, v := range src {
+		if re[i] != real(v) || im[i] != imag(v) {
+			t.Fatalf("split[%d] = (%g,%g), want %v", i, re[i], im[i], v)
+		}
+	}
+	dst := make([]complex128, len(src))
+	Combine(re, im, dst)
+	for i := range src {
+		if dst[i] != src[i] {
+			t.Fatalf("round trip[%d] = %v, want %v", i, dst[i], src[i])
+		}
+	}
+}
+
+func TestSplitCombineEmpty(t *testing.T) {
+	Split(nil, nil, nil)
+	Combine(nil, nil, nil)
+}

@@ -138,13 +138,18 @@ type Manager struct {
 	cb      *antenna.Codebook
 	offsets []float64
 
-	// Hot-path scratch: wbBuf holds the wideband response snr() evaluates
-	// every slot; mbScratch/ueScratch hold one lobe's matched beam during
-	// multi-beam synthesis. All are internal to a single call — the composed
-	// weight vectors themselves are always freshly allocated because they
-	// escape into the front end (fe.SetWeights) and the channel snapshot
+	// Hot-path scratch: wbRe/wbIm hold the planar wideband response snr()
+	// evaluates every slot (txLin/noiseLin are the budget's linear terms,
+	// hoisted at New so the slot loop skips two math.Pow per evaluation);
+	// wbBuf is the interleaved equivalent for probe-side callers;
+	// mbScratch/ueScratch hold one lobe's matched beam during multi-beam
+	// synthesis. All are internal to a single call — the composed weight
+	// vectors themselves are always freshly allocated because they escape
+	// into the front end (fe.SetWeights) and the channel snapshot
 	// (m.RxWeights).
-	wbBuf     cmx.Vector
+	wbRe, wbIm      []float64
+	txLin, noiseLin float64
+	wbBuf           cmx.Vector
 	mbScratch cmx.Vector
 	ueScratch cmx.Vector
 	// Maintenance-tick scratch (maintain/ccRefresh run with zero
@@ -247,6 +252,9 @@ func New(name string, u *antenna.ULA, budget link.Budget, num nr.Numerology, cfg
 		offsets: channel.SubcarrierOffsets(budget.BandwidthHz, cfg.NumSC),
 	}
 	mgr.wbBuf = make(cmx.Vector, cfg.NumSC)
+	mgr.wbRe = make([]float64, cfg.NumSC)
+	mgr.wbIm = make([]float64, cfg.NumSC)
+	mgr.txLin, mgr.noiseLin = budget.SNRTerms()
 	mgr.mbScratch = make(cmx.Vector, u.N)
 	mgr.csiBuf = make(cmx.Vector, cfg.NumSC)
 	mgr.cirBuf = make(cmx.Vector, cfg.NumSC)
@@ -286,6 +294,16 @@ func (g *Manager) NumBeams() int { return len(g.beams) }
 // ActiveWeights returns the currently transmitted weights (nil before
 // establishment).
 func (g *Manager) ActiveWeights() cmx.Vector { return g.fe.Active() }
+
+// ActiveWeightsView returns the live transmit weights without copying (nil
+// before establishment). Read-only; do not retain across a weight reload.
+// Frame-barrier batch evaluation uses this to register beams with a
+// channel.WidebandBatch without one clone per session per frame.
+func (g *Manager) ActiveWeightsView() cmx.Vector { return g.fe.ActiveView() }
+
+// Offsets returns the subcarrier offset grid the manager evaluates wideband
+// SNR on. The slice is the manager's own grid: treat as read-only.
+func (g *Manager) Offsets() []float64 { return g.offsets }
 
 // Reset discards all beam state so the next Step performs a full initial
 // training — used by a handover controller when this manager's gNB becomes
@@ -418,11 +436,12 @@ func (g *Manager) bindUE(m *channel.Model) {
 // snr returns the wideband effective SNR of the current beam over the true
 // channel (−Inf before establishment).
 func (g *Manager) snr(m *channel.Model) float64 {
-	w := g.fe.ActiveView() // read-only: EffectiveWidebandInto only reads w
+	w := g.fe.ActiveView() // read-only: the wideband evaluation only reads w
 	if w == nil {
 		return math.Inf(-1)
 	}
-	return g.budget.WidebandSNRdB(m.EffectiveWidebandInto(w, g.offsets, g.wbBuf))
+	m.EffectiveWidebandSplitInto(w, g.offsets, g.wbRe, g.wbIm)
+	return link.WidebandSNRdBSplitTerms(g.wbRe, g.wbIm, g.txLin, g.noiseLin)
 }
 
 // runWithDebt executes an inline maintenance step and charges its CSI-RS

@@ -109,6 +109,15 @@ func ExtractInto(cir cmx.Vector, relDelays []float64, sampleSpacing float64, cfg
 		copy(row, a)
 		applyFreqRamp(row, bw, rd)
 	}
+	// The generic (K = 1, K ≥ 4) candidate path correlates through the
+	// planar DSP kernel, which wants split rows; K = 2/3 keep their even/odd
+	// Horner specializations below and never pay for the split.
+	var akRe, akIm []float64
+	kern := dsp.Active()
+	if k != 2 && k != 3 {
+		akRe, akIm = own.Float(k*n), own.Float(k*n)
+		cmx.Split(ak, akRe, akIm)
+	}
 
 	// Closed-form Gram (exactly Hermitian), ridged in place, hoisted
 	// Cholesky. The un-ridged Gram itself is never needed: the residual
@@ -123,7 +132,6 @@ func ExtractInto(cir cmx.Vector, relDelays []float64, sampleSpacing float64, cfg
 	chol := cmx.CholeskyWith(own.Complex(k * k))
 	useChol := chol.Factor(&ridged) == nil
 
-	pbuf := cmx.Vector(own.Complex(n))
 	corr := cmx.Vector(own.Complex(k))
 	alpha := cmx.Vector(own.Complex(k))
 	invN := complex(1/float64(n), 0)
@@ -173,14 +181,13 @@ func ExtractInto(cir cmx.Vector, relDelays []float64, sampleSpacing float64, cfg
 			corr[1] = pre * (e1 + z*o1)
 			corr[2] = pre * (e2 + z*o2)
 		default:
-			fillFreqRamp(pbuf, bw, base)
+			// corr[i] = (1/N)·Σ_m row[m]·e^{j(θ₀+m·Δθ)} with θ₀ the first
+			// subcarrier's phase — a kernel PhasorDot per planar row.
+			theta0 := 2 * math.Pi * (-bw/2 + 0.5*bw/nf) * base
+			dTheta := rampRate * base
 			for i := 0; i < k; i++ {
-				row := ak[i*n : (i+1)*n]
-				var s complex128
-				for m, x := range row {
-					s += x * pbuf[m]
-				}
-				corr[i] = s * invN
+				sRe, sIm := kern.PhasorDot(akRe[i*n:(i+1)*n], akIm[i*n:(i+1)*n], theta0, dTheta)
+				corr[i] = complex(sRe, sIm) * invN
 			}
 		}
 		if useChol {

@@ -100,7 +100,16 @@ func New(u *antenna.ULA, cfg Config, initPowers []float64) (*Tracker, error) {
 			return nil, fmt.Errorf("track: non-positive initial power on beam %d", k)
 		}
 		db := dsp.DB(p)
-		tr.bs[k] = beamState{anchorDB: db, ewma: dsp.NewEWMA(cfg.SmoothAlpha)}
+		tr.bs[k] = beamState{
+			anchorDB: db,
+			ewma:     dsp.NewEWMA(cfg.SmoothAlpha),
+			// Full-capacity history up front: observeBeam trims in place at
+			// HistoryLen, so these never regrow — a tracker rebuilt on every
+			// retrain would otherwise leak growth reallocations into the
+			// pinned-zero-alloc steady state.
+			times:  make([]float64, 0, cfg.HistoryLen+1),
+			powers: make([]float64, 0, cfg.HistoryLen+1),
+		}
 		tr.bs[k].ewma.Update(db)
 	}
 	return tr, nil

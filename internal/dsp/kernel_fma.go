@@ -1,0 +1,8 @@
+//go:build !amd64.v3
+
+package dsp
+
+// fmadd returns a·b + c with an intermediate rounding. The amd64.v3 build
+// (GOAMD64=v3) swaps in the fused version; both stay within the kernels'
+// 1e-12 equivalence pin.
+func fmadd(a, b, c float64) float64 { return a*b + c }

@@ -1,0 +1,10 @@
+//go:build amd64.v3
+
+package dsp
+
+import "math"
+
+// fmadd returns fma(a, b, c): GOAMD64=v3 guarantees hardware FMA, so
+// math.FMA compiles to a single instruction with no funnel through the
+// software fallback.
+func fmadd(a, b, c float64) float64 { return math.FMA(a, b, c) }

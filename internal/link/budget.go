@@ -10,6 +10,7 @@ import (
 	"math"
 
 	"mmreliable/internal/cmx"
+	"mmreliable/internal/dsp"
 )
 
 // OutageThresholdDB is the minimum SNR for a decodable 5G NR OFDM link
@@ -75,6 +76,37 @@ func (b Budget) WidebandSNRdB(csi cmx.Vector) float64 {
 		sumLog += math.Log2(1 + snr)
 	}
 	eff := math.Exp2(sumLog/float64(len(csi))) - 1
+	if eff <= 0 {
+		return math.Inf(-1)
+	}
+	return 10 * math.Log10(eff)
+}
+
+// SNRTerms returns the linear transmit and noise powers of the budget — the
+// two math.Pow evaluations inside every WidebandSNRdB call, hoisted so a
+// slot loop can compute them once and use WidebandSNRdBSplitTerms per
+// evaluation.
+func (b Budget) SNRTerms() (txLin, noiseLin float64) {
+	return math.Pow(10, b.TxPowerDBm/10), math.Pow(10, b.NoiseFloorDBm()/10)
+}
+
+// WidebandSNRdBSplit is WidebandSNRdB over a planar per-subcarrier channel
+// estimate (separate re/im slices, the batched-kernel layout).
+func (b Budget) WidebandSNRdBSplit(re, im []float64) float64 {
+	txLin, noiseLin := b.SNRTerms()
+	return WidebandSNRdBSplitTerms(re, im, txLin, noiseLin)
+}
+
+// WidebandSNRdBSplitTerms is WidebandSNRdBSplit with the budget's linear
+// terms (see SNRTerms) precomputed by the caller. The capacity sum runs on
+// the active DSP kernel; under dsp.Reference the arithmetic is identical to
+// WidebandSNRdB.
+func WidebandSNRdBSplitTerms(re, im []float64, txLin, noiseLin float64) float64 {
+	if len(re) == 0 {
+		return math.Inf(-1)
+	}
+	sumLog := dsp.Active().SumLog2SNR(re, im, txLin, noiseLin)
+	eff := math.Exp2(sumLog/float64(len(re))) - 1
 	if eff <= 0 {
 		return math.Inf(-1)
 	}

@@ -229,6 +229,49 @@ func TestMeterOutageDurations(t *testing.T) {
 	}
 }
 
+// TestMeterOutageRingBound pins the bounded episode history: past
+// maxOutageRuns closed episodes the ring overwrites the oldest in place
+// (no allocation), keeps the most recent ones in onset order, and leaves
+// the aggregate counters exact.
+func TestMeterOutageRingBound(t *testing.T) {
+	m := NewMeter()
+	// Close maxOutageRuns+10 episodes of increasing length 1, 2, 3, ...
+	total := maxOutageRuns + 10
+	for i := 1; i <= total; i++ {
+		for j := 0; j < i; j++ {
+			m.Record(0, false, 0) // outage slot
+		}
+		m.Record(20, false, 0) // closes the episode
+	}
+	if got := m.OutageEvents(); got != total {
+		t.Fatalf("OutageEvents = %d want %d", got, total)
+	}
+	if got := m.MaxOutageSlots(); got != total {
+		t.Fatalf("MaxOutageSlots = %d want %d", got, total)
+	}
+	if got := m.DroppedOutageRuns(); got != 10 {
+		t.Fatalf("DroppedOutageRuns = %d want 10", got)
+	}
+	durs := m.OutageDurations(nil)
+	if len(durs) != maxOutageRuns {
+		t.Fatalf("retained %d durations want %d", len(durs), maxOutageRuns)
+	}
+	// The most recent maxOutageRuns episodes, oldest first: 11, 12, ..., total.
+	for i, d := range durs {
+		if want := float64(11 + i); d != want {
+			t.Fatalf("durs[%d] = %g want %g", i, d, want)
+		}
+	}
+	// The full ring no longer allocates per episode.
+	avg := testing.AllocsPerRun(20, func() {
+		m.Record(0, false, 0)
+		m.Record(20, false, 0)
+	})
+	if avg != 0 {
+		t.Fatalf("full ring allocates %.1f allocs/episode, want 0", avg)
+	}
+}
+
 func TestMeterInfSNR(t *testing.T) {
 	m := NewMeter()
 	m.Record(math.Inf(-1), false, 0)

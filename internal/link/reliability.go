@@ -24,12 +24,25 @@ type Meter struct {
 	// Outage-duration tracking: how LONG the link stays down, not just how
 	// often. curRun is the length (slots) of the outage episode in
 	// progress; runs holds the closed episodes' lengths in slots (float64
-	// so they feed stats percentiles directly).
+	// so they feed stats percentiles directly). The buffer is bounded at
+	// maxOutageRuns episodes as a ring keeping the most recent ones —
+	// unbounded appends would leak heap into the pinned-zero-alloc station
+	// and cluster steady states (training slots close an episode on every
+	// maintenance round). runsStart is the ring's oldest element once full;
+	// runsDropped counts episodes that fell off the front.
 	curRun      int
 	totalOutage int
 	maxRun      int
 	runs        []float64
+	runsStart   int
+	runsDropped int
 }
+
+// maxOutageRuns bounds the per-meter outage-episode history. At the default
+// 20 ms frame with one maintenance round per frame this covers seconds of
+// continuous episode churn; aggregate counts (OutageEvents, OutageSlots,
+// MaxOutageSlots) are exact regardless.
+const maxOutageRuns = 256
 
 // NewMeter returns an empty meter.
 func NewMeter() *Meter {
@@ -56,9 +69,7 @@ func (m *Meter) Record(snrDB float64, training bool, throughput float64) {
 			m.maxRun = m.curRun
 		}
 	} else if m.inOutage {
-		// Episode closed: record its duration. Append amortizes and the
-		// quiescent steady state (no outages) never touches the allocator.
-		m.runs = append(m.runs, float64(m.curRun))
+		m.recordRun(float64(m.curRun))
 		m.curRun = 0
 	}
 	m.inOutage = outage
@@ -69,6 +80,27 @@ func (m *Meter) Record(snrDB float64, training bool, throughput float64) {
 	if snrDB < m.minSNR {
 		m.minSNR = snrDB
 	}
+}
+
+// recordRun stores a closed episode's duration in the bounded ring. The
+// first maxOutageRuns episodes allocate the buffer once (lazily, so a
+// quiescent link never touches the allocator); after that the oldest
+// episode is overwritten in place — the steady state stays alloc-free no
+// matter how long the run.
+func (m *Meter) recordRun(d float64) {
+	if len(m.runs) < maxOutageRuns {
+		if m.runs == nil {
+			m.runs = make([]float64, 0, maxOutageRuns)
+		}
+		m.runs = append(m.runs, d)
+		return
+	}
+	m.runs[m.runsStart] = d
+	m.runsStart++
+	if m.runsStart == len(m.runs) {
+		m.runsStart = 0
+	}
+	m.runsDropped++
 }
 
 // Slots returns the number of recorded slots.
@@ -115,16 +147,23 @@ func (m *Meter) OutageSlots() int { return m.totalOutage }
 // many short dips; the max duration does not).
 func (m *Meter) MaxOutageSlots() int { return m.maxRun }
 
-// OutageDurations appends every outage episode's duration in slots
+// OutageDurations appends the retained outage episodes' durations in slots
 // (closed episodes plus the one in progress, in onset order) to dst and
-// returns it — float64 so the result feeds stats.Percentile directly.
+// returns it — float64 so the result feeds stats.Percentile directly. The
+// history is bounded: after maxOutageRuns closed episodes the oldest are
+// dropped (see DroppedOutageRuns); the most recent ones are always present.
 func (m *Meter) OutageDurations(dst []float64) []float64 {
-	dst = append(dst, m.runs...)
+	dst = append(dst, m.runs[m.runsStart:]...)
+	dst = append(dst, m.runs[:m.runsStart]...)
 	if m.curRun > 0 {
 		dst = append(dst, float64(m.curRun))
 	}
 	return dst
 }
+
+// DroppedOutageRuns returns how many closed episodes fell off the bounded
+// duration history (0 until more than maxOutageRuns episodes close).
+func (m *Meter) DroppedOutageRuns() int { return m.runsDropped }
 
 // TRProduct returns the throughput–reliability product (the paper's
 // headline comparison metric, Fig. 18c), in bits/s.

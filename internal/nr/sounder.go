@@ -132,7 +132,50 @@ func (s *Sounder) ProbeInto(m *channel.Model, w cmx.Vector, dst cmx.Vector) cmx.
 	}
 	// True channel per subcarrier under this beam.
 	h := m.EffectiveWidebandInto(w, s.SubcarrierOffsets(), s.hBuf)
+	return s.probeFromH(h, dst)
+}
 
+// ProbeFromH is ProbeInto with the true wideband channel response h already
+// evaluated by the caller — the seam a frame-barrier batch uses: evaluate
+// every (model, beam) response in one batched kernel pass, then push each
+// row through its sounder's OFDM/noise/impairment chain. The RNG consumption
+// is identical to ProbeInto's, so switching a call site between the two
+// leaves every subsequent random draw unchanged. len(h) must be NumSC; h is
+// only read.
+func (s *Sounder) ProbeFromH(h cmx.Vector, dst cmx.Vector) cmx.Vector {
+	if dst == nil {
+		dst = make(cmx.Vector, s.NumSC)
+	}
+	if len(dst) != s.NumSC {
+		panic(fmt.Sprintf("nr: probe dst length %d != %d subcarriers", len(dst), s.NumSC))
+	}
+	if len(h) != s.NumSC {
+		panic(fmt.Sprintf("nr: probe channel length %d != %d subcarriers", len(h), s.NumSC))
+	}
+	if s.tdBuf == nil {
+		s.tdBuf = make(cmx.Vector, s.NumSC)
+	}
+	return s.probeFromH(h, dst)
+}
+
+// ProbeFromSplit is ProbeFromH for a planar channel row (the batched-kernel
+// layout): the row is interleaved into the sounder's channel scratch and
+// sounded in place.
+func (s *Sounder) ProbeFromSplit(hRe, hIm []float64, dst cmx.Vector) cmx.Vector {
+	if len(hRe) != s.NumSC || len(hIm) != s.NumSC {
+		panic(fmt.Sprintf("nr: probe channel lengths %d/%d != %d subcarriers", len(hRe), len(hIm), s.NumSC))
+	}
+	if s.hBuf == nil {
+		s.hBuf = make(cmx.Vector, s.NumSC)
+		s.tdBuf = make(cmx.Vector, s.NumSC)
+	}
+	cmx.Combine(hRe, hIm, s.hBuf)
+	return s.ProbeFromH(s.hBuf, dst)
+}
+
+// probeFromH runs the measurement chain after channel evaluation: OFDM
+// round trip, receiver noise, CFO/SFO, pilot equalization.
+func (s *Sounder) probeFromH(h, dst cmx.Vector) cmx.Vector {
 	// OFDM round trip: pilot → IFFT → (channel in time domain is exactly a
 	// per-subcarrier multiply for CP-OFDM) → FFT → equalize.
 	td := s.tdBuf

@@ -72,6 +72,12 @@ type Scenario struct {
 	// their own Scenario (the experiment engine already does).
 	traceBuf []env.Path
 	idsBuf   []int
+	// tracePose/traceValid memoize traceBuf for the pose it was traced at:
+	// a static UE (or any dwell between waypoints) re-traces nothing, since
+	// the environment geometry is fixed for a Scenario's lifetime (the same
+	// assumption initialVias already bakes in).
+	tracePose  env.Pose
+	traceValid bool
 }
 
 // Fading is a per-path Gauss-Markov shadowing process in dB:
@@ -169,7 +175,11 @@ func (sc *Scenario) ChannelInto(t float64, m *channel.Model) {
 // touch the allocator.
 func (sc *Scenario) channelInto(t float64, m *channel.Model) {
 	pose := sc.UE.At(t)
-	sc.traceBuf = sc.Env.TraceAppend(sc.traceBuf[:0], sc.GNB, pose)
+	if !sc.traceValid || pose != sc.tracePose {
+		sc.traceBuf = sc.Env.TraceAppend(sc.traceBuf[:0], sc.GNB, pose)
+		sc.tracePose = pose
+		sc.traceValid = true
+	}
 	paths := sc.traceBuf
 	if sc.MaxPaths > 0 && len(paths) > sc.MaxPaths {
 		paths = paths[:sc.MaxPaths]
@@ -194,10 +204,11 @@ func (sc *Scenario) channelInto(t float64, m *channel.Model) {
 			}
 		}
 	}
-	// Direct Paths mutation: drop any cached per-path state (the snapshot
-	// validation would catch this too; the explicit call documents the
-	// contract).
-	m.InvalidateCache()
+	// No InvalidateCache here: every mutation above is visible to the
+	// model's per-path snapshot validation, and leaving the epoch alone is
+	// what lets a loss-only slot (fading/blockage on static geometry) renew
+	// its cached coefficients in place instead of rebuilding steering
+	// vectors and carrier phasors.
 }
 
 // pathIDsFor maps a freshly traced path list onto the initial path ranks

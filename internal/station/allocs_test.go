@@ -1,12 +1,29 @@
 package station
 
 import (
+	"runtime"
 	"testing"
 
 	"mmreliable/internal/nr"
 	"mmreliable/internal/seeds"
 	"mmreliable/internal/sim"
 )
+
+// heapBytesPerRun measures the mean heap bytes allocated per call of f —
+// the companion to testing.AllocsPerRun for the bytes/op half of the
+// zero-alloc contract (a slow background leak shows up in bytes long
+// before it rounds up to one alloc per run).
+func heapBytesPerRun(runs int, f func()) float64 {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	f() // warm up once outside the measured window
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	for i := 0; i < runs; i++ {
+		f()
+	}
+	runtime.ReadMemStats(&m1)
+	return float64(m1.TotalAlloc-m0.TotalAlloc) / float64(runs)
+}
 
 // TestStationSlotAllocs pins the steady-state frame loop at zero
 // allocations per frame: persistent channel models (Model.Reuse +
@@ -43,5 +60,12 @@ func TestStationSlotAllocs(t *testing.T) {
 	avg := testing.AllocsPerRun(10, st.AdvanceFrame)
 	if avg != 0 {
 		t.Fatalf("AdvanceFrame allocates %.1f allocs/frame in steady state, want 0", avg)
+	}
+	// Bytes too: rare amortized appends (meter episode buffers, tracker
+	// history growth) used to leak ~60 B/frame while still rounding to
+	// 0 allocs/op. The steady state must be byte-clean, not just
+	// alloc-count-clean.
+	if bytes := heapBytesPerRun(50, st.AdvanceFrame); bytes != 0 {
+		t.Fatalf("AdvanceFrame allocates %.1f B/frame in steady state, want 0", bytes)
 	}
 }

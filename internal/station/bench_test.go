@@ -44,6 +44,42 @@ func BenchmarkStationSlot(b *testing.B) {
 	b.ReportMetric(1e9/perSlot, "sessionslots/s")
 }
 
+// BenchmarkBatchedSlot measures the frame-barrier planar batch pass alone:
+// gathering every grant-holding session, one WidebandBatch evaluation over
+// the frame's UEs, and the per-session wideband-SNR fold — the batched
+// front door of the planar DSP backend.
+func BenchmarkBatchedSlot(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.Workers = 1
+	cfg.ProbeBudget = 0 // unlimited tokens: every established session batches
+	st, err := New(nr.Mu3(), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const ues = 8
+	for i := 0; i < ues; i++ {
+		s := seeds.Mix(41, int64(i))
+		if _, err := st.Attach(SessionConfig{
+			Scenario: sim.StaticIndoor(s),
+			Budget:   sim.IndoorBudget(),
+			Seed:     s,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		st.AdvanceFrame() // establish + warm buffers
+	}
+	if st.batch.Len() == 0 {
+		b.Fatal("no sessions batched after warmup")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.batchFrameEntry()
+	}
+}
+
 // BenchmarkStationFrameParallel measures the same workload sharded across
 // the worker pool — the scaling the capacity experiment leans on.
 func BenchmarkStationFrameParallel(b *testing.B) {

@@ -28,6 +28,9 @@ type Counters struct {
 	Retrains int
 	// TrainingSlots is the total slots consumed by beam management.
 	TrainingSlots int
+	// BatchedEntryEvals is the total number of session rows the frame-entry
+	// planar batch pass evaluated (batchFrameEntry).
+	BatchedEntryEvals int64
 	// Admission-control outcomes.
 	AttachesAdmitted int
 	AttachesRejected int

@@ -28,6 +28,7 @@ import (
 	"math"
 	"runtime"
 
+	"mmreliable/internal/channel"
 	"mmreliable/internal/nr"
 	"mmreliable/internal/scratch"
 	"mmreliable/internal/sim"
@@ -125,6 +126,11 @@ type Station struct {
 	schedIdx  []int
 	schedPrio []float64
 
+	// Frame-entry batch state (batchFrameEntry): one planar wideband pass
+	// over every grant-holding established session at the frame barrier.
+	batch    channel.WidebandBatch
+	batchIdx []int // active[] indices of this frame's batch rows
+
 	counters Counters
 }
 
@@ -159,6 +165,7 @@ func New(num nr.Numerology, cfg Config) (*Station, error) {
 		workers:       w,
 		schedIdx:      make([]int, cfg.MaxSessions),
 		schedPrio:     make([]float64, cfg.MaxSessions),
+		batchIdx:      make([]int, 0, cfg.MaxSessions),
 	}
 	st.ws = make([]*scratch.Workspace, w)
 	for k := range st.ws {
@@ -189,6 +196,7 @@ func (st *Station) AdvanceFrame() {
 	t1 := float64((st.frame+1)*st.slotsPerFrame) * st.slotDur
 	st.processEvents(t0)
 	st.scheduleFrame(t1)
+	st.batchFrameEntry()
 	st.runSessions(t0)
 	st.harvestFrame()
 	st.counters.Frames++
