@@ -26,6 +26,7 @@ import (
 	"mmreliable/internal/env"
 	"mmreliable/internal/experiments"
 	"mmreliable/internal/link"
+	"mmreliable/internal/metro"
 	"mmreliable/internal/nr"
 	"mmreliable/internal/scratch"
 	"mmreliable/internal/seeds"
@@ -95,6 +96,7 @@ func BenchmarkExtensionRateAdapt(b *testing.B)   { runFigure(b, "e3") }
 func BenchmarkExtensionMultiUser(b *testing.B)   { runFigure(b, "e4") }
 func BenchmarkExtensionStation(b *testing.B)     { runFigure(b, "e5") }
 func BenchmarkExtensionCluster(b *testing.B)     { runFigure(b, "e6") }
+func BenchmarkExtensionMetro(b *testing.B)       { runFigure(b, "e7") }
 
 // Micro-benchmarks for the hot per-slot/per-probe paths, to show the
 // reproduction's algorithmic costs (the paper reports its super-resolution
@@ -428,5 +430,53 @@ func BenchmarkClusterFrame(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cl.AdvanceFrame()
+	}
+}
+
+// BenchmarkMetroFrame measures the sharded metro layer's steady-state cost
+// through the public metro API: an 8-site quiescent city (2 cells and 2 UEs
+// per site, churn off, fading ablated) advancing one lock-step frame per
+// iteration on the single-worker inline path, so the number is comparable
+// across runner core counts. Must report 0 allocs/op; the UEs/sec custom
+// metric is the city-throughput headline tracked by benchjson. The metro
+// package's own BenchmarkMetroFrame sweeps site and worker counts.
+func BenchmarkMetroFrame(b *testing.B) {
+	cfg := metro.DefaultConfig()
+	cfg.Workers = 1
+	cfg.ChurnArrivalRate = 0
+	m, err := metro.New(nr.Mu3(), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer m.Close()
+	for i := 0; i < 40; i++ {
+		m.AdvanceFrame() // admit, establish, warm every per-site buffer
+	}
+	ues := m.ResidentUEs()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.AdvanceFrame()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(ues*b.N)/b.Elapsed().Seconds(), "UEs/sec")
+}
+
+// BenchmarkTraceIndexed measures the spatial-indexed ray tracer on the
+// 1024-wall metro grid (16×16 Manhattan blocks): one street-level trace per
+// iteration, occlusion tested against the whole city through the uniform
+// grid. The env package's BenchmarkTraceIndexed/BenchmarkTraceReference
+// pair sweeps wall counts for the sublinear-scaling comparison; this
+// wrapper pins the largest indexed configuration in BENCH_results.json.
+func BenchmarkTraceIndexed(b *testing.B) {
+	e, poses := env.MetroGrid(env.Band28GHz(), 16)
+	e.MaxOrder = 2
+	tx := poses[1]
+	rx := env.Pose{Pos: tx.Pos.Add(env.Vec2{X: 21, Y: 0}), Facing: 3.0}
+	buf := make([]env.Path, 0, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = e.TraceAppend(buf[:0], tx, rx)
 	}
 }

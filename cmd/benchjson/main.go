@@ -12,6 +12,10 @@
 //
 //	"BenchmarkProbe": {"ns_per_op": 6089, "bytes_per_op": 0, "allocs_per_op": 0}
 //
+// Custom b.ReportMetric units (e.g. the metro layer's "UEs/sec" or the
+// station's "sessionslots/s") are captured under a "custom" map keyed by
+// the unit string, alongside the standard trio.
+//
 // Lines that are not benchmark results (headers, PASS/ok trailers, figure
 // tables printed to stderr by the harness) are ignored, so the whole
 // `go test -bench` stdout can be piped through unfiltered. Metadata fields
@@ -47,12 +51,15 @@ import (
 	"strings"
 )
 
-// Result is one benchmark's parsed metrics.
+// Result is one benchmark's parsed metrics. Custom holds any
+// b.ReportMetric units beyond the standard trio (e.g. "UEs/sec",
+// "sessionslots/s"), keyed by the unit string verbatim.
 type Result struct {
-	Iterations  int64   `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  *int64  `json:"bytes_per_op,omitempty"`
-	AllocsPerOp *int64  `json:"allocs_per_op,omitempty"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  *int64             `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64             `json:"allocs_per_op,omitempty"`
+	Custom      map[string]float64 `json:"custom,omitempty"`
 }
 
 func main() {
@@ -128,6 +135,16 @@ func parseLine(line string) (string, Result, bool) {
 		case "allocs/op":
 			if v, err := strconv.ParseInt(val, 10, 64); err == nil {
 				res.AllocsPerOp = &v
+			}
+		default:
+			// b.ReportMetric custom unit (e.g. "UEs/sec"). Units are
+			// non-numeric by construction, so a parseable value plus any
+			// other unit string is a metric pair.
+			if v, err := strconv.ParseFloat(val, 64); err == nil {
+				if res.Custom == nil {
+					res.Custom = map[string]float64{}
+				}
+				res.Custom[unit] = v
 			}
 		}
 	}

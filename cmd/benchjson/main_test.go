@@ -58,3 +58,29 @@ func TestParseResultsBenchText(t *testing.T) {
 		t.Fatalf("BenchmarkY parsed wrong: %+v (ok=%v)", r, ok)
 	}
 }
+
+// TestParseLineCustomMetrics pins b.ReportMetric capture: units beyond the
+// standard trio land in Custom keyed by the unit string, and survive a JSON
+// round trip through parseResults.
+func TestParseLineCustomMetrics(t *testing.T) {
+	line := "BenchmarkMetroFrame-8   50   4127600 ns/op   3876.5 UEs/sec   0 B/op   0 allocs/op"
+	name, r, ok := parseLine(line)
+	if !ok || name != "BenchmarkMetroFrame" {
+		t.Fatalf("parseLine failed: name=%q ok=%v", name, ok)
+	}
+	if r.NsPerOp != 4127600 || r.AllocsPerOp == nil || *r.AllocsPerOp != 0 {
+		t.Fatalf("standard metrics parsed wrong: %+v", r)
+	}
+	if v, ok := r.Custom["UEs/sec"]; !ok || v != 3876.5 {
+		t.Fatalf("custom metric parsed wrong: %+v", r.Custom)
+	}
+
+	in := []byte(`{"BenchmarkMetroFrame": {"iterations":50,"ns_per_op":4127600,"custom":{"UEs/sec":3876.5}}}`)
+	got, err := parseResults(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := got["BenchmarkMetroFrame"].Custom["UEs/sec"]; v != 3876.5 {
+		t.Fatalf("custom metric lost in JSON round trip: %+v", got)
+	}
+}

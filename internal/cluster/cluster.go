@@ -79,6 +79,12 @@ type Config struct {
 	// Warmup excludes each UE's first seconds after attach from its
 	// cluster-level metrics (initial beam training on both legs).
 	Warmup float64
+	// DisableFading drops the per-pair log-normal fading processes — the
+	// paper's "w/o tracking"-style quiescent fixture. Steady-state frames
+	// are then fully zero-alloc (fading jitter otherwise triggers the
+	// occasional re-alignment), which is what benchmark and capacity
+	// drivers at metro scale want.
+	DisableFading bool
 	// ArrayElems is the per-cell transmit array size (default 8, the
 	// paper's testbed).
 	ArrayElems int
@@ -146,6 +152,10 @@ type Cluster struct {
 	slotDur       float64
 	slotsPerFrame int
 	frame         int
+	// nextID is the next UE id to hand out. Ids are never reused, so a
+	// metro-scale driver can harvest finished UEs out of the resident set
+	// (HarvestFinished) without later arrivals colliding with them.
+	nextID int
 
 	counters Counters
 	// monGainDB compensates the wide beam's reduced gain so monitor
@@ -226,8 +236,15 @@ func (cl *Cluster) Now() float64 {
 // Frame returns the index of the next frame to execute.
 func (cl *Cluster) Frame() int { return cl.frame }
 
+// FramePeriod returns the duration of one cluster frame in seconds.
+func (cl *Cluster) FramePeriod() float64 { return float64(cl.slotsPerFrame) * cl.slotDur }
+
 // Cells returns the number of member cells.
 func (cl *Cluster) Cells() int { return len(cl.cells) }
+
+// ResidentUEs returns the number of UEs currently held by the cluster
+// (attached, awaiting admission, or finished-but-unharvested).
+func (cl *Cluster) ResidentUEs() int { return len(cl.ues) }
 
 // AdvanceFrame executes one cluster frame: UE lifecycle and cell selection
 // on the coordinator, then every member cell's serving frame in cell-index

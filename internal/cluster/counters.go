@@ -85,17 +85,8 @@ func (cl *Cluster) Results() Results {
 	var relS, relD float64
 	measured := 0
 	for _, u := range cl.ues {
-		out := UEOutcome{
-			ID:          u.id,
-			ServingCell: u.serving,
-			Handovers:   u.handovers,
-			PingPongs:   u.pingPongs,
-		}
+		out := cl.outcomeFor(u)
 		if u.meter.Slots() > 0 {
-			out.Serving = u.meter.Summarize()
-			out.Diversity = u.divMeter.Summarize()
-			out.MaxOutageMs = float64(u.meter.MaxOutageSlots()) * cl.slotDur * 1e3
-			out.DivMaxOutageMs = float64(u.divMeter.MaxOutageSlots()) * cl.slotDur * 1e3
 			relS += out.Serving.Reliability
 			relD += out.Diversity.Reliability
 			res.AggThroughputBps += out.Serving.MeanThroughput
@@ -115,4 +106,60 @@ func (cl *Cluster) Results() Results {
 		res.MeanDiversityReliability = relD / float64(measured)
 	}
 	return res
+}
+
+// outcomeFor snapshots one resident UE's cluster-level result.
+func (cl *Cluster) outcomeFor(u *ue) UEOutcome {
+	out := UEOutcome{
+		ID:          u.id,
+		ServingCell: u.serving,
+		Handovers:   u.handovers,
+		PingPongs:   u.pingPongs,
+	}
+	if u.meter.Slots() > 0 {
+		out.Serving = u.meter.Summarize()
+		out.Diversity = u.divMeter.Summarize()
+		out.MaxOutageMs = float64(u.meter.MaxOutageSlots()) * cl.slotDur * 1e3
+		out.DivMaxOutageMs = float64(u.divMeter.MaxOutageSlots()) * cl.slotDur * 1e3
+	}
+	return out
+}
+
+// HarvestFinished removes every finished (detached) UE from the resident
+// set, calling fn — if non-nil — with each one's outcome and its serving
+// and diversity meters before the UE's state is released, in UE-id order.
+// This is the metro layer's streaming-aggregation hook: a city-scale driver
+// with session churn folds each departed UE into a constant-size sketch and
+// lets the cluster's memory stay proportional to the RESIDENT population,
+// not to every UE ever served. Cluster ids are never reused (see nextID),
+// and the aggregate Counters keep counting harvested UEs; only the per-UE
+// entries of Results shrink. Safe between frames.
+func (cl *Cluster) HarvestFinished(fn func(UEOutcome, *link.Meter, *link.Meter)) int {
+	kept := cl.ues[:0]
+	harvested := 0
+	for _, u := range cl.ues {
+		if u.done {
+			if fn != nil {
+				fn(cl.outcomeFor(u), u.meter, u.divMeter)
+			}
+			harvested++
+			continue
+		}
+		kept = append(kept, u)
+	}
+	for i := len(kept); i < len(cl.ues); i++ {
+		cl.ues[i] = nil // release the harvested UE state
+	}
+	cl.ues = kept
+	return harvested
+}
+
+// VisitUEs calls fn for every resident UE in UE-id order with its outcome
+// and its serving and diversity meters. The meters are the cluster's live
+// state: read-only for the callee (Meter.Merge reads its argument, so
+// folding them into an aggregation sketch is fine). Safe between frames.
+func (cl *Cluster) VisitUEs(fn func(UEOutcome, *link.Meter, *link.Meter)) {
+	for _, u := range cl.ues {
+		fn(cl.outcomeFor(u), u.meter, u.divMeter)
+	}
 }

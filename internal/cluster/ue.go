@@ -85,7 +85,8 @@ func (cl *Cluster) AddUE(cfg UEConfig) (int, error) {
 	if len(cfg.Blockage) > len(cl.cells) {
 		return 0, fmt.Errorf("cluster: %d blockage schedules for %d cells", len(cfg.Blockage), len(cl.cells))
 	}
-	id := len(cl.ues)
+	id := cl.nextID
+	cl.nextID++
 	n := len(cl.cells)
 	u := &ue{
 		id:          id,
@@ -129,6 +130,11 @@ func (cl *Cluster) pairScenario(u *ue, c int) *sim.Scenario {
 		blk = u.cfg.Blockage[c]
 	}
 	fadeSeed := seeds.Mix(cl.cfg.Seed, labelFading, int64(u.id), int64(c))
+	var fading *sim.Fading
+	if !cl.cfg.DisableFading {
+		fading = sim.NewFading(sim.DefaultFadingSigmaDB, sim.DefaultFadingCoherence,
+			rand.New(rand.NewSource(fadeSeed)))
+	}
 	return &sim.Scenario{
 		Env: cl.dep.Env,
 		GNB: pose,
@@ -141,8 +147,7 @@ func (cl *Cluster) pairScenario(u *ue, c int) *sim.Scenario {
 		Num:      cl.num,
 		TxArray:  antenna.NewULA(cl.cfg.ArrayElems, cl.dep.Env.Band.CarrierHz),
 		MaxPaths: 3,
-		Fading: sim.NewFading(sim.DefaultFadingSigmaDB, sim.DefaultFadingCoherence,
-			rand.New(rand.NewSource(fadeSeed))),
+		Fading:   fading,
 	}
 }
 

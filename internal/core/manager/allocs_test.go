@@ -11,6 +11,45 @@ import (
 // frequency-domain super-resolution fit, tracker observation — runs with
 // ZERO heap allocations, working entirely out of the manager's persistent
 // buffers and its scratch workspace (marked on entry, released on exit).
+// TestEstablishAllocs pins the re-establishment path: a full retrain —
+// SSB sweep, peak selection, per-beam probing with delay estimation,
+// constructive-combining estimation, beam-set selection, weight
+// composition — allocates nothing once the manager's establishment stores
+// are warm. At metro scale blockage-driven data outages make retrains part
+// of the steady state, so this path matters as much as the maintenance
+// tick.
+func TestEstablishAllocs(t *testing.T) {
+	mgr := newManager(t, 7)
+	sc := staticScenario(0.2)
+	if _, err := (sim.Runner{}).Run(sc, mgr); err != nil {
+		t.Fatal(err)
+	}
+	m := sc.ChannelAt(sc.Duration)
+	tick := sc.Duration
+	// Warm re-establishments settle every store (and the tracker rebuild
+	// path, which only allocates when the beam count changes).
+	for i := 0; i < 3; i++ {
+		tick += mgr.cfg.MaintainPeriod
+		mgr.establish(tick, m)
+		mgr.maintain(tick+mgr.cfg.CCRefreshPeriod, m)
+	}
+	beams := mgr.NumBeams()
+	if beams < 2 {
+		t.Fatalf("established %d beams, want ≥2 in a reflective room", beams)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		tick += mgr.cfg.MaintainPeriod
+		mgr.establish(tick, m)
+		mgr.maintain(tick+mgr.cfg.CCRefreshPeriod, m)
+	})
+	if mgr.NumBeams() != beams {
+		t.Fatalf("beam count drifted %d → %d on a static channel", beams, mgr.NumBeams())
+	}
+	if allocs != 0 {
+		t.Fatalf("re-establishment allocates %.1f per op, want 0", allocs)
+	}
+}
+
 func TestMaintainTickAllocs(t *testing.T) {
 	mgr := newManager(t, 5)
 	sc := staticScenario(0.2)

@@ -150,8 +150,8 @@ type Manager struct {
 	wbRe, wbIm      []float64
 	txLin, noiseLin float64
 	wbBuf           cmx.Vector
-	mbScratch cmx.Vector
-	ueScratch cmx.Vector
+	mbScratch       cmx.Vector
+	ueScratch       cmx.Vector
 	// Maintenance-tick scratch (maintain/ccRefresh run with zero
 	// allocations in steady state): csiBuf/cirBuf hold the probe CSI and
 	// its impulse response, sbBuf one recovery probe's single beam, stsBuf
@@ -181,6 +181,32 @@ type Manager struct {
 	// wSpare is applyWeights' double buffer: the composed weight vector
 	// and the spare rotate, so steady-state weight updates do not allocate.
 	wSpare cmx.Vector
+	// Establishment scratch: at metro scale full re-establishments are part
+	// of the steady state (blockage-driven data outages retrain every few
+	// hundred frames on marginal legs), so establish() also runs off
+	// retained storage. swp backs the SSB sweep, angStore/delayStore/
+	// relStore/rssStore the per-beam vectors (the manager's published
+	// angles/relDelays/rssAnchor slices alias these stores), magsFlat +
+	// magHeads the per-beam magnitude matrix, beamStore the live lobe list,
+	// snrSel/selW/magSel the beam-set selection scratch, activeStore the
+	// active flags. establishFn and the retry callbacks are prebound at New
+	// so scheduling an operation never materializes a method value.
+	swp            nr.SweepScratch
+	angStore       []float64
+	delayStore     []float64
+	relStore       []float64
+	rssStore       []float64
+	magsFlat       []float64
+	magHeads       [][]float64
+	beamStore      []multibeam.Beam
+	snrSel         []float64
+	selW           cmx.Vector
+	magSel         []float64
+	activeStore    []bool
+	establishFn    func(t float64, m *channel.Model)
+	retrySweepFn   func(t float64, m *channel.Model)
+	retryEstFn     func(t float64, m *channel.Model)
+	retryComposeFn func(t float64, m *channel.Model)
 
 	// Beam state.
 	angles    []float64 // per-beam steering angles (reference first)
@@ -271,6 +297,21 @@ func New(name string, u *antenna.ULA, budget link.Budget, num nr.Numerology, cfg
 	mgr.beamsBuf = make([]multibeam.Beam, 0, cfg.MaxBeams)
 	mgr.bp = boundProber{s: s}
 	mgr.ws = scratch.New()
+	mgr.angStore = make([]float64, 0, cfg.MaxBeams)
+	mgr.delayStore = make([]float64, 0, cfg.MaxBeams)
+	mgr.relStore = make([]float64, 0, cfg.MaxBeams)
+	mgr.rssStore = make([]float64, 0, cfg.MaxBeams)
+	mgr.magsFlat = make([]float64, cfg.MaxBeams*cfg.NumSC)
+	mgr.magHeads = make([][]float64, 0, cfg.MaxBeams)
+	mgr.beamStore = make([]multibeam.Beam, 0, cfg.MaxBeams)
+	mgr.snrSel = make([]float64, cfg.MaxBeams+1)
+	mgr.selW = make(cmx.Vector, u.N)
+	mgr.magSel = make([]float64, cfg.NumSC)
+	mgr.activeStore = make([]bool, 0, cfg.MaxBeams)
+	mgr.establishFn = mgr.establish
+	mgr.retrySweepFn = func(t float64, m *channel.Model) { mgr.retrainCause(t, "sweep-empty") }
+	mgr.retryEstFn = func(t float64, m *channel.Model) { mgr.retrainCause(t, "estimate") }
+	mgr.retryComposeFn = func(t float64, m *channel.Model) { mgr.retrainCause(t, "compose") }
 	return mgr, nil
 }
 
@@ -496,20 +537,27 @@ func (g *Manager) retrainCause(t float64, cause string) {
 	if g.ueCB != nil {
 		estProbes += g.cfg.MaxBeams * g.ueCB.Len() // per-beam UE scans (§4.4)
 	}
-	g.beginOp(wait+sweepSlots+estProbes*nr.CSIRSSlots, g.establish)
+	g.beginOp(wait+sweepSlots+estProbes*nr.CSIRSSlots, g.establishFn)
 }
 
-// establish performs the sweep and builds the constructive multi-beam.
+// establish performs the sweep and builds the constructive multi-beam. It
+// runs off the manager's establishment stores (see the field block): at
+// metro scale blockage-driven retrains are steady-state behavior, so the
+// whole path — sweep, per-beam probing, CC estimation, beam-set selection
+// — stays off the allocator (pinned by TestEstablishAllocs and the cluster
+// frame alloc test). The probing order and arithmetic are identical to the
+// original allocating forms, preserving the determinism contract.
 func (g *Manager) establish(t float64, m *channel.Model) {
 	angles := g.trainAngles(m)
 	if len(angles) == 0 {
 		// Nothing viable: back off and retry.
 		g.w = nil
 		g.fullReset()
-		g.beginOp(g.slotsFor(g.cfg.RetrainBackoff), func(t2 float64, m2 *channel.Model) { g.retrainCause(t2, "sweep-empty") })
+		g.beginOp(g.slotsFor(g.cfg.RetrainBackoff), g.retrySweepFn)
 		return
 	}
-	pr := &boundProber{s: g.sounder, m: m}
+	g.bp.m = m
+	pr := &g.bp
 
 	// Directional UE (§4.4): before measuring anything else, find the UE
 	// arrival angle of each gNB beam with a per-beam UE codebook scan and
@@ -550,41 +598,41 @@ func (g *Manager) establish(t float64, m *channel.Model) {
 	}
 
 	// Per-beam single probes: magnitudes + delays.
-	mags := make([][]float64, len(angles))
-	delays := make([]float64, len(angles))
-	rss := make([]float64, len(angles))
+	mags := g.magHeads[:0]
+	delays := g.delayStore[:0]
+	rss := g.rssStore[:0]
 	for k, a := range angles {
-		csi := pr.Probe(g.u.SingleBeam(a))
-		mags[k] = csi.Abs()
-		rss[k] = nr.RSS(csi)
-		d, err := superres.EstimateDelay(g.sounder.CIR(csi), g.sounder.SampleSpacing())
+		csi := pr.ProbeInto(g.u.SingleBeamInto(a, g.sbBuf), g.csiBuf)
+		mags = append(mags, csi.AbsInto(g.magsFlat[k*g.cfg.NumSC:(k+1)*g.cfg.NumSC]))
+		rss = append(rss, nr.RSS(csi))
+		d, err := superres.EstimateDelayWS(g.sounder.CIRInto(csi, g.cirBuf), g.sounder.SampleSpacing(), g.ws)
 		if err != nil {
 			d = 0
 		}
-		delays[k] = d
+		delays = append(delays, d)
 	}
 	span := float64(g.cfg.NumSC) * g.sounder.SampleSpacing()
-	rel := make([]float64, len(angles))
+	rel := g.relStore[:0]
 	for k := range delays {
-		rel[k] = superres.RelativeDelay(delays[k], delays[0], span)
+		rel = append(rel, superres.RelativeDelay(delays[k], delays[0], span))
 	}
 	rel[0] = 0
 
 	// Constructive combining parameters.
 	var beams []multibeam.Beam
 	if len(angles) == 1 {
-		beams = []multibeam.Beam{multibeam.Reference(angles[0])}
+		beams = append(g.beamStore[:0], multibeam.Reference(angles[0]))
 	} else if g.cfg.ConstructiveCombining {
-		est, err := estimateWithMags(pr, g.u, angles, mags, rel, g.budget.BandwidthHz)
-		if err != nil {
+		if err := estimateWithMagsInto(&g.estBuf, pr, g.u, angles, mags, rel, g.budget.BandwidthHz, g.ws); err != nil {
 			g.w = nil
 			g.fullReset()
-			g.beginOp(g.slotsFor(g.cfg.RetrainBackoff), func(t2 float64, m2 *channel.Model) { g.retrainCause(t2, "estimate") })
+			g.beginOp(g.slotsFor(g.cfg.RetrainBackoff), g.retryEstFn)
 			return
 		}
-		beams, _ = est.Beams(angles)
+		beams, _ = g.estBuf.BeamsInto(angles, g.beamStore)
 	} else {
 		// Ablation: equal-amplitude, zero-phase lobes.
+		beams = g.beamStore[:0]
 		for _, a := range angles {
 			beams = append(beams, multibeam.Beam{Angle: a, Amp: 1})
 		}
@@ -594,7 +642,7 @@ func (g *Manager) establish(t float64, m *channel.Model) {
 	// beam prefix whose MEASURED wideband effective SNR is best. The
 	// multi-beam therefore never does worse than the single beam.
 	if len(beams) > 1 {
-		snrs := make([]float64, len(beams)+1)
+		snrs := g.snrSel[:len(beams)+1]
 		bindK := func(k int) {
 			// Couple the UE lobe count to the TX beam count under test.
 			if g.ueCB != nil && g.applyUEWeightsN(k) {
@@ -612,13 +660,13 @@ func (g *Manager) establish(t float64, m *channel.Model) {
 		maxSNR := snrs[1]
 		for k := 2; k <= len(beams); k++ {
 			snrs[k] = math.Inf(-1)
-			wk, err := multibeam.Weights(g.u, beams[:k])
+			wk, err := multibeam.WeightsInto(g.u, beams[:k], g.selW, g.mbScratch)
 			if err != nil {
 				continue
 			}
 			bindK(k)
-			csi := pr.Probe(wk)
-			snrs[k] = g.budget.WidebandSNRdBFromMags(csi.Abs())
+			csi := pr.ProbeInto(wk, g.csiBuf)
+			snrs[k] = g.budget.WidebandSNRdBFromMags(csi.AbsInto(g.magSel))
 			if snrs[k] > maxSNR {
 				maxSNR = snrs[k]
 			}
@@ -661,17 +709,20 @@ func (g *Manager) establish(t float64, m *channel.Model) {
 	g.beams = beams
 	g.mags = mags
 	g.rssAnchor = rss
-	g.active = make([]bool, len(beams))
-	for i := range g.active {
-		g.active[i] = true
+	g.active = g.activeStore[:0]
+	for range beams {
+		g.active = append(g.active, true)
 	}
 	if !g.applyWeights(t) {
 		g.w = nil
 		g.fullReset()
-		g.beginOp(g.slotsFor(g.cfg.RetrainBackoff), func(t2 float64, m2 *channel.Model) { g.retrainCause(t2, "compose") })
+		g.beginOp(g.slotsFor(g.cfg.RetrainBackoff), g.retryComposeFn)
 		return
 	}
-	g.tracker = nil
+	// The tracker is kept across establishments: the next maintenance round
+	// re-anchors it in place when the beam count is unchanged (state-for-
+	// state the same as a fresh tracker, see track.Reanchor) and only
+	// rebuilds it when the beam set genuinely changed size.
 	g.needAnch = true
 	g.nextMaintain = t + g.cfg.MaintainPeriod
 }
@@ -688,7 +739,8 @@ func (g *Manager) hierConfig() nr.HierConfig {
 }
 
 // trainAngles runs the configured beam-training method and returns the
-// viable path angles, strongest first (capped at MaxBeams).
+// viable path angles, strongest first (capped at MaxBeams). The returned
+// slice aliases the manager's angle store — valid until the next training.
 func (g *Manager) trainAngles(m *channel.Model) []float64 {
 	if g.cfg.HierarchicalTraining {
 		hres, err := nr.HierSweep(g.sounder, m, g.u, g.hierConfig())
@@ -699,10 +751,10 @@ func (g *Manager) trainAngles(m *channel.Model) []float64 {
 		if len(angles) > g.cfg.MaxBeams {
 			angles = angles[:g.cfg.MaxBeams]
 		}
-		return angles
+		return append(g.angStore[:0], angles...)
 	}
-	res := nr.Sweep(g.sounder, m, g.cb, g.cfg.MaxBeams, g.cfg.MinSepIdx, g.cfg.DynRangeDB)
-	return res.Angles(g.cb)
+	res := nr.SweepInto(g.sounder, m, g.cb, g.cfg.MaxBeams, g.cfg.MinSepIdx, g.cfg.DynRangeDB, &g.swp)
+	return res.AnglesInto(g.cb, g.angStore[:0])
 }
 
 func (g *Manager) fullReset() {
@@ -733,6 +785,13 @@ func (g *Manager) applyWeights(t float64) bool {
 	}
 	g.wSpare = g.w
 	g.w = w
+	if g.wSpare == nil {
+		// First-ever composition: g.w was the nil "not established" sentinel,
+		// so the rotation just parked nil in the spare slot. Fill it now —
+		// this is the one allocation an establishment is allowed, and it
+		// happens at attach time, never in the steady state.
+		g.wSpare = make(cmx.Vector, g.u.N)
+	}
 	if err := g.fe.SetWeights(w, t); err != nil {
 		return false
 	}

@@ -19,6 +19,7 @@ import (
 	"math/cmplx"
 
 	"mmreliable/internal/cmx"
+	"mmreliable/internal/scratch"
 )
 
 // KernelFunc returns the CIR signature of a unit path at the given absolute
@@ -254,13 +255,26 @@ func rotate(v cmx.Vector, k int) cmx.Vector {
 // absolute ToF; differences of these across beams give the relative ToFs
 // that anchor the super-resolution dictionary.
 func EstimateDelay(cir cmx.Vector, sampleSpacing float64) (float64, error) {
+	return EstimateDelayWS(cir, sampleSpacing, nil)
+}
+
+// EstimateDelayWS is EstimateDelay drawing the magnitude scratch from ws —
+// allocation-free when ws is non-nil, identical arithmetic either way.
+func EstimateDelayWS(cir cmx.Vector, sampleSpacing float64, ws *scratch.Workspace) (float64, error) {
 	if len(cir) == 0 {
 		return 0, fmt.Errorf("superres: empty CIR")
 	}
 	if sampleSpacing <= 0 {
 		return 0, fmt.Errorf("superres: non-positive sample spacing")
 	}
-	mags := cir.Abs()
+	var mags []float64
+	if ws != nil {
+		mk := ws.Mark()
+		defer ws.Release(mk)
+		mags = cir.AbsInto(ws.Float(len(cir)))
+	} else {
+		mags = cir.Abs()
+	}
 	peak, best := 0, 0.0
 	for i, m := range mags {
 		if m > best {

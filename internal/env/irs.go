@@ -25,6 +25,9 @@ func (e *Environment) irsPath(tx, rx Pose, i int) (Path, bool) {
 	if d1 < 1e-9 || d2 < 1e-9 {
 		return Path{}, false
 	}
+	if e.MaxRangeM > 0 && d1+d2 > e.MaxRangeM {
+		return Path{}, false
+	}
 	t1, b1 := e.transmissionLoss(Segment{tx.Pos, s.Pos}, -1, -1)
 	if b1 {
 		return Path{}, false

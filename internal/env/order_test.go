@@ -1,0 +1,98 @@
+package env
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// mirrorScene builds a scene that is exactly symmetric about the x-axis:
+// TX and RX sit on the axis, one identical wall above and one below. The
+// two first-order reflections have bit-identical losses (the mirror
+// arithmetic is sign-symmetric in double precision), so their relative
+// order is decided purely by the tie-break.
+func mirrorScene(topFirst bool) (*Environment, Pose, Pose) {
+	top := Wall{Seg: Segment{Vec2{-1, 2}, Vec2{9, 2}}, Mat: Metal}
+	bot := Wall{Seg: Segment{Vec2{-1, -2}, Vec2{9, -2}}, Mat: Metal}
+	var e *Environment
+	if topFirst {
+		e = NewEnvironment(Band28GHz(), top, bot)
+	} else {
+		e = NewEnvironment(Band28GHz(), bot, top)
+	}
+	tx := Pose{Pos: Vec2{0, 0}, Facing: 0}
+	rx := Pose{Pos: Vec2{8, 0}, Facing: 3.141592653589793}
+	return e, tx, rx
+}
+
+// TestTraceTieBreakDeterministic pins the contractual path ordering: equal
+// losses are broken by (Via, Via2), so MaxPaths truncation in a symmetric
+// scene keeps the lower-indexed wall's path regardless of which wall was
+// declared first. An alternative tracer (the spatial-indexed one) may not
+// legally reorder equal-loss paths.
+func TestTraceTieBreakDeterministic(t *testing.T) {
+	for _, topFirst := range []bool{true, false} {
+		e, tx, rx := mirrorScene(topFirst)
+		paths := e.Trace(tx, rx)
+		if len(paths) != 3 {
+			t.Fatalf("topFirst=%v: got %d paths, want LOS + 2 reflections", topFirst, len(paths))
+		}
+		if paths[1].LossDB != paths[2].LossDB {
+			t.Fatalf("topFirst=%v: mirror losses differ: %.17g vs %.17g",
+				topFirst, paths[1].LossDB, paths[2].LossDB)
+		}
+		if paths[1].Via != 0 || paths[2].Via != 1 {
+			t.Fatalf("topFirst=%v: tie broken as Via %d before %d, want 0 before 1",
+				topFirst, paths[1].Via, paths[2].Via)
+		}
+
+		// MaxPaths truncation keeps the tie-break winner.
+		e.MaxPaths = 2
+		cut := e.Trace(tx, rx)
+		if len(cut) != 2 || cut[1].Via != 0 {
+			t.Fatalf("topFirst=%v: truncation kept Via=%d, want the tie-break winner Via=0",
+				topFirst, cut[1].Via)
+		}
+	}
+}
+
+// TestTraceAppendTieBreak exercises the same contract through TraceAppend
+// with a retained buffer and second-order bounces enabled: double-bounce
+// pairs (wi→wj vs wj→wi) also tie bit-for-bit in a symmetric corridor and
+// must come out ordered by (Via, Via2).
+func TestTraceAppendTieBreak(t *testing.T) {
+	e, tx, rx := mirrorScene(true)
+	e.MaxOrder = 2
+	buf := make([]Path, 0, 16)
+	paths := e.TraceAppend(buf[:0], tx, rx)
+	for i := 1; i < len(paths); i++ {
+		a, b := paths[i-1], paths[i]
+		if a.LossDB > b.LossDB {
+			t.Fatalf("paths[%d..%d] out of loss order: %.17g > %.17g", i-1, i, a.LossDB, b.LossDB)
+		}
+		if a.LossDB == b.LossDB && (a.Via > b.Via || (a.Via == b.Via && a.Via2 >= b.Via2)) {
+			t.Fatalf("equal-loss paths %d,%d out of identity order: (%d,%d) before (%d,%d)",
+				i-1, i, a.Via, a.Via2, b.Via, b.Via2)
+		}
+	}
+}
+
+// TestTraceOrderContractRandom property-tests the ordering invariant on
+// random indoor and outdoor scenes: every trace is sorted by pathLess and
+// equal-loss runs are strictly increasing in (Via, Via2).
+func TestTraceOrderContractRandom(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		for _, order := range []int{1, 2} {
+			e, gnb := RandomIndoor(rng, Band28GHz())
+			e.MaxOrder = order
+			ue := Pose{Pos: Vec2{4 + rng.Float64()*2, 1 + rng.Float64()*2}, Facing: -2}
+			paths := e.Trace(gnb, ue)
+			for i := 1; i < len(paths); i++ {
+				if pathLess(paths[i], paths[i-1]) {
+					t.Fatalf("seed %d order %d: paths %d,%d violate the (LossDB, Via, Via2) contract",
+						seed, order, i-1, i)
+				}
+			}
+		}
+	}
+}

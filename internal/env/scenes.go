@@ -192,3 +192,91 @@ func MultiCellStreet(band Band, cells int) (*Environment, []Pose) {
 	}
 	return e, poses
 }
+
+// MetroGrid builds the city-scale Manhattan deployment scene: a blocks ×
+// blocks grid of square concrete/glass buildings separated by street
+// canyons, with a gNB lamppost-mounted at every street intersection facing
+// down a street. The scene is what the metro layer shards across cells:
+// blocks=8 already means 256 walls, which is where the spatial index earns
+// its keep — the constructor therefore builds the index and sets a finite
+// MaxRangeM (no mmWave link survives a multi-block bounce) and MaxPaths.
+// Deterministic: a pure function of (band, blocks). Panics if blocks < 1.
+//
+// Geometry: buildings are building×building squares on a pitch of
+// building+street, with streets street metres wide; intersection i of the
+// (blocks+1)² lattice carries gNB i. UE drops come from MetroUEPositions,
+// which keeps UEs in the streets.
+func MetroGrid(band Band, blocks int) (*Environment, []Pose) {
+	if blocks < 1 {
+		panic("env: MetroGrid blocks < 1")
+	}
+	const (
+		building = 20.0
+		street   = 12.0
+		pitch    = building + street
+	)
+	e := NewEnvironment(band)
+	for by := 0; by < blocks; by++ {
+		for bx := 0; bx < blocks; bx++ {
+			x0 := street + float64(bx)*pitch
+			y0 := street + float64(by)*pitch
+			x1, y1 := x0+building, y0+building
+			mat := Concrete
+			if (bx+by)%3 == 2 {
+				mat = Glass // every third block is a glass-façade tower
+			}
+			e.Walls = append(e.Walls,
+				Wall{Seg: Segment{Vec2{x0, y0}, Vec2{x1, y0}}, Mat: mat},
+				Wall{Seg: Segment{Vec2{x1, y0}, Vec2{x1, y1}}, Mat: mat},
+				Wall{Seg: Segment{Vec2{x1, y1}, Vec2{x0, y1}}, Mat: mat},
+				Wall{Seg: Segment{Vec2{x0, y1}, Vec2{x0, y0}}, Mat: mat},
+			)
+		}
+	}
+	// Street-canyon link budget: anything beyond about three blocks of
+	// travel (including bounces) is unusable, and the finite range is what
+	// arms the index's reflection-candidate pruning.
+	e.MaxRangeM = 3 * pitch
+	e.MaxPaths = 4
+	e.BuildIndex()
+	poses := make([]Pose, 0, (blocks+1)*(blocks+1))
+	facings := [4]float64{0, math.Pi / 2, math.Pi, -math.Pi / 2}
+	for iy := 0; iy <= blocks; iy++ {
+		for ix := 0; ix <= blocks; ix++ {
+			p := Vec2{street/2 + float64(ix)*pitch, street/2 + float64(iy)*pitch}
+			poses = append(poses, Pose{Pos: p, Facing: facings[(ix+iy)%4]})
+		}
+	}
+	return e, poses
+}
+
+// MetroUEPositions returns n deterministic UE drop positions in the street
+// grid of MetroGrid(_, blocks): positions walk the horizontal street
+// centrelines on a fixed pitch, row-major, wrapping around the scene as i
+// grows. A pure function of (i, n, blocks), which is what keeps sharded
+// metro runs byte-identical at any worker count.
+func MetroUEPositions(n, blocks int) []Vec2 {
+	if n < 1 {
+		return nil
+	}
+	const (
+		building = 20.0
+		street   = 12.0
+		pitch    = building + street
+	)
+	extent := street + float64(blocks)*pitch
+	// Drop points every stepX metres along each horizontal street's
+	// centreline; streets are visited round-robin so any n spreads over
+	// the whole grid.
+	perStreet := int(extent / 4)
+	streets := blocks + 1
+	pos := make([]Vec2, n)
+	for i := range pos {
+		s := i % streets
+		k := (i / streets) % perStreet
+		y := street/2 + float64(s)*pitch
+		x := 2 + float64(k)*4 + float64((i/(streets*perStreet))%4) // wrap shifts by 1 m
+		pos[i] = Vec2{x, y}
+	}
+	return pos
+}

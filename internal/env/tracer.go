@@ -79,6 +79,17 @@ type Environment struct {
 	// Double bounces matter in highly reflective rooms where the paper's
 	// angular scans show more than three viable directions.
 	MaxOrder int
+	// MaxRangeM drops every path whose total traveled distance exceeds it;
+	// 0 means unlimited. At metro scale a bounce 500 m away is tens of dB
+	// below the noise floor, and a finite range is what lets the spatial
+	// index prune reflection candidates to the disk around the tx–rx
+	// midpoint (see Index). Enforced identically by the brute-force and
+	// indexed tracers.
+	MaxRangeM float64
+
+	// idx is the optional spatial index over Walls (see BuildIndex). Nil
+	// means brute-force tracing; MMR_TRACER=reference ignores it entirely.
+	idx *Index
 }
 
 // NewEnvironment returns an environment on the given band with panel
@@ -98,9 +109,9 @@ func (e *Environment) Trace(tx, rx Pose) []Path {
 // TraceAppend is Trace appending onto dst (usually dst[:0] of a slice kept
 // across simulation slots), so per-slot ray tracing reuses one backing
 // array instead of growing a fresh one. The appended section is sorted by
-// increasing loss with an insertion sort — path counts are single-digit,
-// and it avoids sort.Slice's closure and reflect-based swapper on the
-// per-slot path.
+// the contractual (LossDB, Via, Via2) ordering (see pathLess) with an
+// insertion sort — path counts are single-digit, and it avoids sort.Slice's
+// closure and reflect-based swapper on the per-slot path.
 func (e *Environment) TraceAppend(dst []Path, tx, rx Pose) []Path {
 	start := len(dst)
 	paths := dst
@@ -108,27 +119,65 @@ func (e *Environment) TraceAppend(dst []Path, tx, rx Pose) []Path {
 	if p, ok := e.losPath(tx, rx); ok {
 		paths = append(paths, p)
 	}
-	// First-order reflections via the image method.
-	for wi := range e.Walls {
-		if p, ok := e.reflectedPath(tx, rx, wi); ok {
-			paths = append(paths, p)
+	if ix := e.tracerIndex(); ix != nil && e.MaxRangeM > 0 {
+		// Indexed reflection enumeration: every wall able to host a
+		// reflection point of a path with Dist ≤ MaxRangeM lies within
+		// MaxRangeM/2 of the tx–rx midpoint (ellipse containment; the
+		// triangle inequality extends the bound to both double-bounce
+		// points), so walls outside the disk candidates cannot produce a
+		// surviving path and skipping them leaves the path set unchanged.
+		// Each distinct path kind carries a distinct (Via, Via2) key, so
+		// the contractual sort below erases any generation-order
+		// difference versus the brute-force loops.
+		sc := ix.getScratch()
+		mid := Vec2{(tx.Pos.X + rx.Pos.X) / 2, (tx.Pos.Y + rx.Pos.Y) / 2}
+		cands := ix.diskCandidates(sc, mid, e.MaxRangeM/2)
+		for _, wi := range cands {
+			if p, ok := e.reflectedPath(tx, rx, int(wi)); ok {
+				paths = append(paths, p)
+			}
 		}
-	}
-	// Engineered reflections via intelligent reflecting surfaces.
-	for i := range e.IRSs {
-		if p, ok := e.irsPath(tx, rx, i); ok {
-			paths = append(paths, p)
+		for i := range e.IRSs {
+			if p, ok := e.irsPath(tx, rx, i); ok {
+				paths = append(paths, p)
+			}
 		}
-	}
-	// Second-order reflections via the image-of-image method.
-	if e.MaxOrder >= 2 {
-		for wi := range e.Walls {
-			for wj := range e.Walls {
-				if wi == wj {
-					continue
+		if e.MaxOrder >= 2 {
+			for _, wi := range cands {
+				for _, wj := range cands {
+					if wi == wj {
+						continue
+					}
+					if p, ok := e.doubleReflectedPath(tx, rx, int(wi), int(wj)); ok {
+						paths = append(paths, p)
+					}
 				}
-				if p, ok := e.doubleReflectedPath(tx, rx, wi, wj); ok {
-					paths = append(paths, p)
+			}
+		}
+		ix.putScratch(sc)
+	} else {
+		// First-order reflections via the image method.
+		for wi := range e.Walls {
+			if p, ok := e.reflectedPath(tx, rx, wi); ok {
+				paths = append(paths, p)
+			}
+		}
+		// Engineered reflections via intelligent reflecting surfaces.
+		for i := range e.IRSs {
+			if p, ok := e.irsPath(tx, rx, i); ok {
+				paths = append(paths, p)
+			}
+		}
+		// Second-order reflections via the image-of-image method.
+		if e.MaxOrder >= 2 {
+			for wi := range e.Walls {
+				for wj := range e.Walls {
+					if wi == wj {
+						continue
+					}
+					if p, ok := e.doubleReflectedPath(tx, rx, wi, wj); ok {
+						paths = append(paths, p)
+					}
 				}
 			}
 		}
@@ -137,7 +186,7 @@ func (e *Environment) TraceAppend(dst []Path, tx, rx Pose) []Path {
 	for i := 1; i < len(s); i++ {
 		p := s[i]
 		j := i - 1
-		for j >= 0 && s[j].LossDB > p.LossDB {
+		for j >= 0 && pathLess(p, s[j]) {
 			s[j+1] = s[j]
 			j--
 		}
@@ -149,9 +198,25 @@ func (e *Environment) TraceAppend(dst []Path, tx, rx Pose) []Path {
 	return paths
 }
 
+// pathLess is the contractual path ordering: increasing loss, with exact
+// loss ties broken by the (Via, Via2) identity key. The tie-break matters
+// under MaxPaths truncation — symmetric scenes produce bit-identical losses
+// on mirror-image paths, and which one survives the cut must not depend on
+// generation or sort-visitation order. Any alternative tracer (the spatial-
+// indexed one in particular) must reproduce this ordering exactly.
+func pathLess(a, b Path) bool {
+	if a.LossDB != b.LossDB {
+		return a.LossDB < b.LossDB
+	}
+	if a.Via != b.Via {
+		return a.Via < b.Via
+	}
+	return a.Via2 < b.Via2
+}
+
 func (e *Environment) losPath(tx, rx Pose) (Path, bool) {
 	d := tx.Pos.Dist(rx.Pos)
-	if d < 1e-9 {
+	if d < 1e-9 || (e.MaxRangeM > 0 && d > e.MaxRangeM) {
 		return Path{}, false
 	}
 	leg := Segment{tx.Pos, rx.Pos}
@@ -183,7 +248,7 @@ func (e *Environment) reflectedPath(tx, rx Pose, wi int) (Path, bool) {
 		return Path{}, false
 	}
 	d := img.Dist(rx.Pos) // total path length TX→hit→RX
-	if d < 1e-9 {
+	if d < 1e-9 || (e.MaxRangeM > 0 && d > e.MaxRangeM) {
 		return Path{}, false
 	}
 	leg1 := Segment{tx.Pos, hit}
@@ -230,7 +295,7 @@ func (e *Environment) doubleReflectedPath(tx, rx Pose, wi, wj int) (Path, bool) 
 		return Path{}, false
 	}
 	d := img2.Dist(rx.Pos) // = |TX→q1| + |q1→q2| + |q2→RX|
-	if d < 1e-9 {
+	if d < 1e-9 || (e.MaxRangeM > 0 && d > e.MaxRangeM) {
 		return Path{}, false
 	}
 	t1, b1 := e.transmissionLoss(Segment{tx.Pos, q1}, wi, -1)
@@ -264,9 +329,37 @@ func (e *Environment) doubleReflectedPath(tx, rx Pose, wi, wj int) (Path, bool) 
 // transmissionLoss accumulates through-wall loss along a leg, skipping up
 // to two wall indices (the reflecting wall for each endpoint). It reports
 // blocked=true when accumulated transmission loss exceeds 50 dB, at which
-// point the path is useless for a directional link.
+// point the path is useless for a directional link. With a spatial index
+// present it tests only the walls near the leg; the candidates arrive
+// deduplicated and sorted ascending, so the accumulation order — and
+// therefore the floating-point sum and the wall that trips the hard-block
+// early exit — matches the brute-force walk bit for bit.
 func (e *Environment) transmissionLoss(leg Segment, skip1, skip2 int) (lossDB float64, blocked bool) {
 	const hardBlockDB = 50
+	if ix := e.tracerIndex(); ix != nil {
+		sc := ix.getScratch()
+		for _, wi := range ix.legCandidates(sc, leg) {
+			i := int(wi)
+			if i == skip1 || i == skip2 {
+				continue
+			}
+			w := e.Walls[i]
+			pt, ok := leg.Intersects(w.Seg)
+			if !ok {
+				continue
+			}
+			if pt.Dist(leg.A) < 1e-9 || pt.Dist(leg.B) < 1e-9 {
+				continue
+			}
+			lossDB += w.Mat.TransLossD
+			if lossDB >= hardBlockDB {
+				ix.putScratch(sc)
+				return lossDB, true
+			}
+		}
+		ix.putScratch(sc)
+		return lossDB, false
+	}
 	for i, w := range e.Walls {
 		if i == skip1 || i == skip2 {
 			continue

@@ -89,6 +89,7 @@ func All() []Experiment {
 		{"e4", "Extension: 2-user hybrid beamforming (§8)", ExtensionMultiUser},
 		{"e5", "Extension: multi-UE serving-cell capacity under a probe budget", ExtensionStation},
 		{"e6", "Extension: multi-cell macro-diversity under serving-link blockage", ExtensionCluster},
+		{"e7", "Extension: city-scale sharded metro with session churn", ExtensionMetro},
 	}
 }
 

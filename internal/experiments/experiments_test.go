@@ -28,8 +28,8 @@ func cell(t *testing.T, table interface{ String() string }, label string, col in
 
 func TestAllExperimentsRegistered(t *testing.T) {
 	all := All()
-	if len(all) != 31 {
-		t.Fatalf("experiments %d, want 31", len(all))
+	if len(all) != 32 {
+		t.Fatalf("experiments %d, want 32", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {
@@ -331,6 +331,33 @@ func TestExtensionClusterLandmarks(t *testing.T) {
 	}
 	if pp := cell(t, tb, "2", 6); pp != 0 {
 		t.Fatalf("%g ping-pongs at 2 cells", pp)
+	}
+}
+
+func TestExtensionMetroLandmarks(t *testing.T) {
+	tb := ExtensionMetro(quickCfg())
+	// Doubling the city serves more sessions...
+	s4 := cell(t, tb, "4", 2)
+	s8 := cell(t, tb, "8", 2)
+	if s8 <= s4 {
+		t.Fatalf("sessions did not grow with sites: 4 sites %g, 8 sites %g", s4, s8)
+	}
+	// ...while per-UE physics stays flat: sites are RF-isolated, so the
+	// folded serving reliability holds the §5 operating point at both
+	// scales instead of degrading with population.
+	r4 := cell(t, tb, "4", 3)
+	r8 := cell(t, tb, "8", 3)
+	if r4 < 0.99 || r8 < 0.99 {
+		t.Fatalf("metro serving reliability degraded: 4 sites %g, 8 sites %g", r4, r8)
+	}
+	// Diversity combining can only help the folded stream.
+	if d8 := cell(t, tb, "8", 4); d8 < r8 {
+		t.Fatalf("diversity reliability %g below serving %g", d8, r8)
+	}
+	// Beam-management overhead stays bounded as the city grows (training
+	// is per-cell, sessions amortize it).
+	if ov8 := cell(t, tb, "8", 7); ov8 <= 0 || ov8 > 25 {
+		t.Fatalf("8-site overhead %g%% outside (0, 25]", ov8)
 	}
 }
 

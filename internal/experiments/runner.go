@@ -40,6 +40,7 @@ const (
 	labelExtHandover   int64 = 961
 	labelExtStation    int64 = 981
 	labelExtCluster    int64 = 971
+	labelExtMetro      int64 = 941
 )
 
 // mixSeed folds the parts into one well-mixed 63-bit stream seed via the

@@ -1,0 +1,118 @@
+package link
+
+// Merge folds other into m so that m afterwards reports what a single meter
+// would have reported had it recorded m's slot stream followed by other's —
+// the streaming-aggregation primitive the metro layer reduces per-UE meters
+// with. other is not modified.
+//
+// Aggregate metrics (slots, availability, throughput/SNR sums, outage slot
+// totals, episode counts, longest episode) merge exactly, including the
+// boundary case where m ends inside an outage and other's stream begins
+// inside one: concatenation fuses those into a single episode, so the
+// episode count drops by one and the fused length competes for the maximum.
+// The bounded episode-duration history merges to exactly what the
+// concatenated meter would retain (the most recent maxOutageRuns closed
+// episodes); only the floating-point throughput/SNR sums can differ from a
+// sequential feed in the last ulp, since summation is reassociated.
+//
+// Merge order is the caller's contract for determinism: reducing shards in
+// index order yields byte-identical results at any worker count.
+func (m *Meter) Merge(other *Meter) {
+	o := other
+	if o.slots == 0 {
+		return
+	}
+	if m.slots == 0 {
+		runs := m.runs
+		*m = *o
+		// The ring must not share backing with other's.
+		if o.runs != nil {
+			if cap(runs) < len(o.runs) {
+				runs = make([]float64, 0, maxOutageRuns)
+			}
+			m.runs = append(runs[:0], o.runs...)
+		} else {
+			m.runs = runs[:0]
+		}
+		return
+	}
+
+	oAllOutage := o.totalOutage == o.slots
+	// Boundary fusion: m's open episode continues into other's leading one.
+	fused := m.inOutage && o.leadRun > 0
+
+	m.outageRuns += o.outageRuns
+	if fused {
+		// other counted its leading episode as a fresh one; concatenation
+		// continues the episode m already counted at its onset.
+		m.outageRuns--
+	}
+	if o.maxRun > m.maxRun {
+		m.maxRun = o.maxRun
+	}
+	if fused {
+		if fl := m.curRun + o.leadRun; fl > m.maxRun {
+			m.maxRun = fl
+		}
+	}
+
+	// m's leading episode: still open only while m is unbroken outage, in
+	// which case other's slots extend it (entirely, if other is unbroken
+	// too, else by other's leading episode). Uses pre-merge counters.
+	if m.totalOutage == m.slots {
+		if oAllOutage {
+			m.leadRun += o.slots
+		} else {
+			m.leadRun += o.leadRun
+		}
+	}
+
+	// Closed-episode history: replay, oldest first, every episode the
+	// concatenation closes after m's retained ones. recordRun keeps the
+	// ring at the most recent maxOutageRuns and counts the overflow, which
+	// is exactly the concatenated meter's retention policy. Episodes other
+	// already dropped stay dropped (if the fused episode's other-side half
+	// was among them, its changed length is unobservable anyway).
+	m.runsDropped += o.runsDropped
+	if m.inOutage && !fused {
+		// other opens with an available slot: the boundary closes m's
+		// open episode at its current length.
+		m.recordRun(float64(m.curRun))
+	}
+	// When the fused episode closes inside other's retained history, its
+	// recorded length must grow by m's open half. other's leading episode
+	// is its first closed one, so it is at the head of the retained ring
+	// iff nothing was dropped.
+	growFirst := fused && !oAllOutage && o.runsDropped == 0
+	for _, part := range [2][]float64{o.runs[o.runsStart:], o.runs[:o.runsStart]} {
+		for _, r := range part {
+			if growFirst {
+				r += float64(m.curRun)
+				growFirst = false
+			}
+			m.recordRun(r)
+		}
+	}
+
+	// Tail state: what episode, if any, is open after the concatenation.
+	if o.inOutage {
+		if oAllOutage && m.inOutage {
+			m.curRun += o.curRun // one unbroken episode across the boundary
+		} else {
+			m.curRun = o.curRun
+		}
+		m.inOutage = true
+	} else {
+		m.curRun = 0
+		m.inOutage = false
+	}
+
+	m.slots += o.slots
+	m.available += o.available
+	m.thrSum += o.thrSum
+	m.snrSum += o.snrSum
+	if o.minSNR < m.minSNR {
+		m.minSNR = o.minSNR
+	}
+	m.totalOutage += o.totalOutage
+}

@@ -1,0 +1,188 @@
+package link
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// slotStream is a randomly generated sequence of Record inputs with bursty
+// outages (runs of sub-threshold SNR and training slots), so splits land
+// inside episodes often enough to exercise Merge's boundary fusion.
+func slotStream(rng *rand.Rand, n int) ([]float64, []bool, []float64) {
+	snr := make([]float64, n)
+	training := make([]bool, n)
+	thr := make([]float64, n)
+	i := 0
+	for i < n {
+		burst := 1 + rng.Intn(9)
+		down := rng.Float64() < 0.45
+		for j := 0; j < burst && i < n; j++ {
+			switch {
+			case down && rng.Float64() < 0.1:
+				snr[i] = math.Inf(-1) // deep fade: no finite SNR sample
+			case down:
+				snr[i] = OutageThresholdDB - 1 - 10*rng.Float64()
+			default:
+				snr[i] = OutageThresholdDB + 1 + 20*rng.Float64()
+			}
+			training[i] = rng.Float64() < 0.05
+			if !training[i] && snr[i] >= OutageThresholdDB {
+				thr[i] = 1e8 * rng.Float64()
+			}
+			i++
+		}
+	}
+	return snr, training, thr
+}
+
+func feed(m *Meter, snr []float64, training []bool, thr []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		m.Record(snr[i], training[i], thr[i])
+	}
+}
+
+// diffMeters fails the test unless merged reports exactly what whole does
+// (float sums within reassociation tolerance).
+func diffMeters(t *testing.T, tag string, merged, whole *Meter) {
+	t.Helper()
+	approx := func(name string, a, b float64) {
+		t.Helper()
+		if math.Abs(a-b) > 1e-9*(1+math.Abs(b)) {
+			t.Fatalf("%s: %s = %g, want %g", tag, name, a, b)
+		}
+	}
+	if merged.Slots() != whole.Slots() {
+		t.Fatalf("%s: slots %d != %d", tag, merged.Slots(), whole.Slots())
+	}
+	if merged.available != whole.available {
+		t.Fatalf("%s: available %d != %d", tag, merged.available, whole.available)
+	}
+	if merged.OutageEvents() != whole.OutageEvents() {
+		t.Fatalf("%s: episodes %d != %d", tag, merged.OutageEvents(), whole.OutageEvents())
+	}
+	if merged.OutageSlots() != whole.OutageSlots() {
+		t.Fatalf("%s: outage slots %d != %d", tag, merged.OutageSlots(), whole.OutageSlots())
+	}
+	if merged.MaxOutageSlots() != whole.MaxOutageSlots() {
+		t.Fatalf("%s: max episode %d != %d", tag, merged.MaxOutageSlots(), whole.MaxOutageSlots())
+	}
+	if merged.MinSNRdB() != whole.MinSNRdB() {
+		t.Fatalf("%s: min SNR %g != %g", tag, merged.MinSNRdB(), whole.MinSNRdB())
+	}
+	if merged.DroppedOutageRuns() != whole.DroppedOutageRuns() {
+		t.Fatalf("%s: dropped runs %d != %d", tag, merged.DroppedOutageRuns(), whole.DroppedOutageRuns())
+	}
+	if merged.curRun != whole.curRun || merged.inOutage != whole.inOutage {
+		t.Fatalf("%s: open episode (%d,%v) != (%d,%v)",
+			tag, merged.curRun, merged.inOutage, whole.curRun, whole.inOutage)
+	}
+	if merged.leadRun != whole.leadRun {
+		t.Fatalf("%s: leadRun %d != %d", tag, merged.leadRun, whole.leadRun)
+	}
+	approx("mean throughput", merged.MeanThroughput(), whole.MeanThroughput())
+	approx("mean SNR", merged.MeanSNRdB(), whole.MeanSNRdB())
+	gd := merged.OutageDurations(nil)
+	wd := whole.OutageDurations(nil)
+	if len(gd) != len(wd) {
+		t.Fatalf("%s: %d retained durations != %d", tag, len(gd), len(wd))
+	}
+	for i := range gd {
+		if gd[i] != wd[i] {
+			t.Fatalf("%s: duration[%d] = %g, want %g", tag, i, gd[i], wd[i])
+		}
+	}
+}
+
+// TestMeterMergeMatchesConcatenation property-tests the streaming-merge
+// contract: for random bursty streams and random split points, feeding two
+// meters and merging equals feeding one meter the concatenated stream —
+// including splits inside outage episodes (boundary fusion), all-outage
+// chunks, empty chunks, and histories past the bounded-ring capacity.
+func TestMeterMergeMatchesConcatenation(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		// Long enough that later seeds close >maxOutageRuns episodes.
+		n := 50 + rng.Intn(4000)
+		snr, training, thr := slotStream(rng, n)
+		whole := NewMeter()
+		feed(whole, snr, training, thr, 0, n)
+
+		for trial := 0; trial < 8; trial++ {
+			cut := rng.Intn(n + 1) // includes empty prefix and empty suffix
+			a, b := NewMeter(), NewMeter()
+			feed(a, snr, training, thr, 0, cut)
+			feed(b, snr, training, thr, cut, n)
+			a.Merge(b)
+			diffMeters(t, "2-way", a, whole)
+		}
+
+		// Multi-way fold in order, random chunking: the metro reduction.
+		acc := NewMeter()
+		lo := 0
+		for lo < n {
+			hi := lo + 1 + rng.Intn(200)
+			if hi > n {
+				hi = n
+			}
+			c := NewMeter()
+			feed(c, snr, training, thr, lo, hi)
+			acc.Merge(c)
+			lo = hi
+		}
+		diffMeters(t, "k-way", acc, whole)
+	}
+}
+
+// TestMeterMergeAllOutageChunks pins the fully-degenerate fusions: chains
+// of chunks that are outage from first slot to last must merge into one
+// episode, never several.
+func TestMeterMergeAllOutageChunks(t *testing.T) {
+	acc := NewMeter()
+	for c := 0; c < 5; c++ {
+		m := NewMeter()
+		for i := 0; i < 10; i++ {
+			m.Record(OutageThresholdDB-5, false, 0)
+		}
+		acc.Merge(m)
+	}
+	if acc.OutageEvents() != 1 {
+		t.Fatalf("5 all-outage chunks merged into %d episodes, want 1", acc.OutageEvents())
+	}
+	if acc.MaxOutageSlots() != 50 || acc.OutageSlots() != 50 {
+		t.Fatalf("fused episode = %d slots (total %d), want 50", acc.MaxOutageSlots(), acc.OutageSlots())
+	}
+	// Close it and check the single recorded duration.
+	acc.Record(OutageThresholdDB+5, false, 1e8)
+	if d := acc.OutageDurations(nil); len(d) != 1 || d[0] != 50 {
+		t.Fatalf("durations = %v, want [50]", d)
+	}
+}
+
+// TestMeterMergeDoesNotMutateOther guards the reduction tree: the right
+// operand must stay usable after being merged from.
+func TestMeterMergeDoesNotMutateOther(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	snr, training, thr := slotStream(rng, 300)
+	b := NewMeter()
+	feed(b, snr, training, thr, 0, 300)
+	before := b.Summarize()
+	beforeDur := b.OutageDurations(nil)
+
+	a := NewMeter()
+	feed(a, snr, training, thr, 0, 150)
+	a.Merge(b)
+
+	if b.Summarize() != before {
+		t.Fatal("Merge mutated its argument's summary")
+	}
+	afterDur := b.OutageDurations(nil)
+	if len(afterDur) != len(beforeDur) {
+		t.Fatal("Merge mutated its argument's episode history")
+	}
+	for i := range afterDur {
+		if afterDur[i] != beforeDur[i] {
+			t.Fatal("Merge mutated its argument's episode history")
+		}
+	}
+}

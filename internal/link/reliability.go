@@ -36,6 +36,14 @@ type Meter struct {
 	runs        []float64
 	runsStart   int
 	runsDropped int
+
+	// leadRun is the length of the outage episode that begins at the very
+	// first recorded slot (0 if the stream opened with an available slot).
+	// It freezes as soon as the first available slot arrives. Merge needs
+	// it: when meter A ends inside an outage and meter B's stream begins
+	// inside one, concatenation fuses A's open episode with B's leading
+	// episode into a single longer one.
+	leadRun int
 }
 
 // maxOutageRuns bounds the per-meter outage-episode history. At the default
@@ -67,6 +75,12 @@ func (m *Meter) Record(snrDB float64, training bool, throughput float64) {
 		m.totalOutage++
 		if m.curRun > m.maxRun {
 			m.maxRun = m.curRun
+		}
+		if m.totalOutage == m.slots {
+			// Every slot so far is an outage: still inside the leading
+			// episode (see leadRun). One available slot breaks the
+			// equality forever, freezing leadRun.
+			m.leadRun++
 		}
 	} else if m.inOutage {
 		m.recordRun(float64(m.curRun))

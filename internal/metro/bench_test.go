@@ -1,0 +1,44 @@
+package metro
+
+import (
+	"fmt"
+	"testing"
+
+	"mmreliable/internal/nr"
+)
+
+// BenchmarkMetroFrame measures the steady-state cost of advancing one metro
+// frame with churn off (quiescent city: every site past warmup, sessions
+// never end, fading disabled) — the per-frame hot path with zero steady-state
+// allocations. UEs/sec is the headline throughput metric: resident UEs times
+// frames advanced per wall-clock second.
+func BenchmarkMetroFrame(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		for _, sites := range []int{8, 64} {
+			b.Run(fmt.Sprintf("sites=%d/workers=%d", sites, workers), func(b *testing.B) {
+				cfg := DefaultConfig()
+				cfg.Clusters = sites
+				cfg.Workers = workers
+				cfg.ChurnArrivalRate = 0 // sessions never end: no harvest, no churn allocs
+				m, err := New(nr.Mu3(), cfg)
+				if err != nil {
+					b.Fatalf("New: %v", err)
+				}
+				defer m.Close()
+				// Warm past cluster warmup and the first natural retrains so
+				// every per-site scratch buffer is sized.
+				for i := 0; i < 40; i++ {
+					m.AdvanceFrame()
+				}
+				ues := m.ResidentUEs()
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					m.AdvanceFrame()
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(ues*b.N)/b.Elapsed().Seconds(), "UEs/sec")
+			})
+		}
+	}
+}

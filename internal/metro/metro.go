@@ -1,0 +1,358 @@
+// Package metro is the city-scale sharded simulation layer: hundreds to a
+// thousand cluster.Cluster instances ("sites") advanced frame-synchronously
+// across a worker pool, with UE session churn per site and streaming
+// aggregation of every finished UE into constant-size per-shard sketches.
+// It is the driver that turns the paper's per-link reliability machinery
+// into deployment-scale numbers — 10³ cells / 10⁵ UE-sessions on one
+// machine — without holding per-UE state for anyone who already left.
+//
+// Determinism contract (the same one the station, cluster, and experiment
+// layers obey): every site's entire evolution — its cluster seed, its churn
+// arrival/departure stream, its UE drop positions — derives from
+// seeds.Mix(Seed, label, site) and advances inside the site only. Shards
+// are contiguous site ranges; a shard is executed start-to-finish by
+// whichever worker steals it, so per-shard sketch folds happen in site
+// order no matter which worker runs them, and the final reduction walks
+// shards in index order on the caller's goroutine. Results are therefore
+// byte-identical at any -workers, pinned by TestMetroDeterminismAcrossWorkers.
+//
+// All sites share one read-only environment with a built spatial index
+// (env.Index): concurrent tracing is safe (per-query scratch comes from a
+// sync.Pool) and the per-slot ray-trace cost stays local rather than
+// O(total walls).
+package metro
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"mmreliable/internal/cluster"
+	"mmreliable/internal/env"
+	"mmreliable/internal/link"
+	"mmreliable/internal/nr"
+	"mmreliable/internal/seeds"
+	"mmreliable/internal/sim"
+)
+
+// Seed-stream labels for the metro layer's RNG derivation (station uses
+// 981, cluster 991–993; see internal/seeds).
+const (
+	labelMetroCluster = 995 // per-site cluster seeds
+	labelMetroChurn   = 996 // per-site churn streams (arrivals, sessions, drops)
+)
+
+// Config sizes and seeds the metro simulation.
+type Config struct {
+	// Seed drives every derived stream via seeds.Mix(Seed, label, site).
+	Seed int64
+	// Clusters is the number of cluster sites; CellsPerCluster gNBs each,
+	// so total cells = Clusters × CellsPerCluster.
+	Clusters int
+	// CellsPerCluster is the gNB count per site (the MultiCellHall scene).
+	CellsPerCluster int
+	// UEsPerCluster is the initial UE population per site, attached at t=0.
+	UEsPerCluster int
+	// Workers is the goroutine pool size; 0 means GOMAXPROCS. Results are
+	// byte-identical at any value.
+	Workers int
+	// Shards is the number of contiguous site ranges used as work-stealing
+	// units and sketch-aggregation grains; 0 picks min(Clusters, 64).
+	// Sketches cost O(Shards) memory regardless of how many UEs ever
+	// existed. The byte-identical determinism contract holds across any
+	// Workers at a FIXED shard partition — the default is deliberately
+	// independent of Workers so "same config, different -workers" reduces
+	// float sums with identical bracketing. Changing Shards regroups the
+	// reduction and may move the last ulp of the aggregate means.
+	Shards int
+	// ChurnArrivalRate is the mean UE arrival rate per site in UEs/second
+	// (Poisson, per-site stream). 0 disables churn: the initial population
+	// stays for the whole run.
+	ChurnArrivalRate float64
+	// MeanSessionS is the mean churned-UE session length in seconds
+	// (exponential, floored at MinSessionS). Applies to churn arrivals and,
+	// when churn is enabled, to the initial population too.
+	MeanSessionS float64
+	// MinSessionS floors session lengths so a session always outlives
+	// admission plus warmup. Default 0.3 s.
+	MinSessionS float64
+	// Cluster configures every site's coordinator; Seed is overridden per
+	// site.
+	Cluster cluster.Config
+}
+
+// DefaultConfig returns a small default metro: 8 two-cell sites with two
+// resident UEs each and moderate churn, fading off (the quiescent
+// zero-alloc fixture; flip Cluster.DisableFading for fading realism).
+func DefaultConfig() Config {
+	ccfg := cluster.DefaultConfig()
+	ccfg.DisableFading = true
+	ccfg.Station.Manager.ProactiveTracking = false
+	return Config{
+		Seed:             1,
+		Clusters:         8,
+		CellsPerCluster:  2,
+		UEsPerCluster:    2,
+		ChurnArrivalRate: 1.5,
+		MeanSessionS:     1.2,
+		MinSessionS:      0.3,
+		Cluster:          ccfg,
+	}
+}
+
+// site is one cluster instance plus its private churn stream.
+type site struct {
+	cl          *cluster.Cluster
+	rng         *rand.Rand
+	nextArrival float64
+	// harvestFn folds finished UEs into the owning shard's sketch; prebound
+	// so the steady-state frame loop stays off the allocator.
+	harvestFn func(cluster.UEOutcome, *link.Meter, *link.Meter)
+}
+
+// Metro is the sharded city simulation.
+type Metro struct {
+	cfg       Config
+	num       nr.Numerology
+	sites     []*site
+	sketches  []Sketch
+	shardLo   []int // shard s covers sites[shardLo[s]:shardLo[s+1]]
+	positions []env.Vec2
+	workers   int
+	frame     int
+
+	nextShard atomic.Int64
+	start     chan struct{}
+	wg        sync.WaitGroup
+	closed    bool
+}
+
+// New builds the metro: one shared indexed environment, Clusters cluster
+// sites with per-site seeds, the initial UE population, and (for Workers >
+// 1) the persistent worker pool. Call Close when done with a multi-worker
+// metro to release the pool.
+func New(num nr.Numerology, cfg Config) (*Metro, error) {
+	if cfg.Clusters < 1 {
+		return nil, fmt.Errorf("metro: Clusters %d < 1", cfg.Clusters)
+	}
+	if cfg.CellsPerCluster < 1 {
+		return nil, fmt.Errorf("metro: CellsPerCluster %d < 1", cfg.CellsPerCluster)
+	}
+	if cfg.UEsPerCluster < 0 || cfg.ChurnArrivalRate < 0 || cfg.MeanSessionS < 0 {
+		return nil, fmt.Errorf("metro: negative population parameter")
+	}
+	if cfg.ChurnArrivalRate > 0 && cfg.MeanSessionS == 0 {
+		return nil, fmt.Errorf("metro: churn arrivals need MeanSessionS > 0")
+	}
+	if cfg.MinSessionS <= 0 {
+		cfg.MinSessionS = 0.3
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	shards := cfg.Shards
+	if shards <= 0 {
+		shards = 64 // worker-independent (see Config.Shards)
+	}
+	if shards > cfg.Clusters {
+		shards = cfg.Clusters
+	}
+	if workers > shards {
+		workers = shards
+	}
+
+	// One shared read-only scene for every site: the multi-cell hall with
+	// the spatial index built (concurrent tracing is index-safe), and a
+	// finite range so the index can also prune reflection candidates.
+	scene, poses := env.MultiCellHall(env.Band28GHz(), cfg.CellsPerCluster)
+	scene.MaxRangeM = 80
+	scene.BuildIndex()
+	dep := cluster.Deployment{Env: scene, Cells: poses, Budget: sim.IndoorBudget()}
+	// A fixed lattice of candidate drop positions; churn picks among them.
+	nPos := cfg.UEsPerCluster
+	if nPos < 16 {
+		nPos = 16
+	}
+	positions := env.HallUEPositions(nPos)
+
+	m := &Metro{
+		cfg:       cfg,
+		num:       num,
+		sketches:  make([]Sketch, shards),
+		positions: positions,
+		workers:   workers,
+	}
+	per := (cfg.Clusters + shards - 1) / shards
+	for lo := 0; lo < cfg.Clusters; lo += per {
+		m.shardLo = append(m.shardLo, lo)
+	}
+	m.shardLo = append(m.shardLo, cfg.Clusters)
+
+	for si := 0; si < cfg.Clusters; si++ {
+		ccfg := cfg.Cluster
+		ccfg.Seed = seeds.Mix(cfg.Seed, labelMetroCluster, int64(si))
+		cl, err := cluster.New(num, ccfg, dep)
+		if err != nil {
+			return nil, fmt.Errorf("metro: site %d: %w", si, err)
+		}
+		s := &site{
+			cl:  cl,
+			rng: rand.New(rand.NewSource(seeds.Mix(cfg.Seed, labelMetroChurn, int64(si)))),
+		}
+		sk := &m.sketches[m.shardOf(si)]
+		s.harvestFn = sk.AddUE
+		if cfg.ChurnArrivalRate > 0 {
+			s.nextArrival = s.rng.ExpFloat64() / cfg.ChurnArrivalRate
+		}
+		for u := 0; u < cfg.UEsPerCluster; u++ {
+			uc := cluster.UEConfig{Pos: positions[u%len(positions)]}
+			if cfg.ChurnArrivalRate > 0 {
+				uc.DetachAt = m.sessionLen(s)
+			}
+			if _, err := cl.AddUE(uc); err != nil {
+				return nil, fmt.Errorf("metro: site %d initial UE %d: %w", si, u, err)
+			}
+		}
+		m.sites = append(m.sites, s)
+	}
+
+	if m.workers > 1 {
+		m.start = make(chan struct{}, m.workers)
+		for w := 0; w < m.workers; w++ {
+			go func() {
+				for range m.start {
+					m.runShards()
+					m.wg.Done()
+				}
+			}()
+		}
+	}
+	return m, nil
+}
+
+// shardOf returns the shard owning site si.
+func (m *Metro) shardOf(si int) int {
+	per := m.shardLo[1] - m.shardLo[0]
+	s := si / per
+	if s >= len(m.shardLo)-1 {
+		s = len(m.shardLo) - 2
+	}
+	return s
+}
+
+// sessionLen draws one session duration from the site's churn stream.
+func (m *Metro) sessionLen(s *site) float64 {
+	d := m.cfg.MeanSessionS * s.rng.ExpFloat64()
+	if d < m.cfg.MinSessionS {
+		d = m.cfg.MinSessionS
+	}
+	return d
+}
+
+// Frame returns the index of the next metro frame to execute.
+func (m *Metro) Frame() int { return m.frame }
+
+// FramePeriod returns the duration of one metro frame in seconds.
+func (m *Metro) FramePeriod() float64 { return m.sites[0].cl.FramePeriod() }
+
+// Cells returns the total gNB count across all sites.
+func (m *Metro) Cells() int { return len(m.sites) * m.cfg.CellsPerCluster }
+
+// ResidentUEs returns the UEs currently resident across all sites (attached
+// or awaiting admission; harvested UEs excluded). Safe between frames.
+func (m *Metro) ResidentUEs() int {
+	n := 0
+	for _, s := range m.sites {
+		n += s.cl.ResidentUEs()
+	}
+	return n
+}
+
+// Workers returns the effective worker count.
+func (m *Metro) Workers() int { return m.workers }
+
+// Shards returns the effective shard count.
+func (m *Metro) Shards() int { return len(m.shardLo) - 1 }
+
+// AdvanceFrame executes one metro frame: every site advances one cluster
+// frame (churn arrivals first, finished-UE harvest after), shard by shard
+// across the worker pool, with a barrier before the next frame. Workers
+// steal whole shards off a shared atomic cursor, so a shard whose sites hit
+// expensive re-establishments doesn't serialize the rest of the city behind
+// it. With one worker everything runs inline on the caller's goroutine.
+func (m *Metro) AdvanceFrame() {
+	m.nextShard.Store(0)
+	if m.workers <= 1 {
+		m.runShards()
+	} else {
+		m.wg.Add(m.workers)
+		for w := 0; w < m.workers; w++ {
+			m.start <- struct{}{}
+		}
+		m.wg.Wait()
+	}
+	m.frame++
+}
+
+// runShards drains the shard cursor, stepping each stolen shard's sites in
+// order.
+func (m *Metro) runShards() {
+	for {
+		s := int(m.nextShard.Add(1) - 1)
+		if s >= len(m.shardLo)-1 {
+			return
+		}
+		for _, st := range m.sites[m.shardLo[s]:m.shardLo[s+1]] {
+			m.stepSite(st)
+		}
+	}
+}
+
+// stepSite advances one site by one frame: releases due churn arrivals into
+// the cluster, advances the cluster frame, and streams finished UEs out
+// into the owning shard's sketch.
+func (m *Metro) stepSite(s *site) {
+	t0 := s.cl.Now()
+	if m.cfg.ChurnArrivalRate > 0 {
+		for s.nextArrival <= t0 {
+			at := s.nextArrival
+			uc := cluster.UEConfig{
+				Pos:      m.positions[s.rng.Intn(len(m.positions))],
+				AttachAt: at,
+				DetachAt: at + m.sessionLen(s),
+			}
+			if _, err := s.cl.AddUE(uc); err != nil {
+				// UEConfig is constructed valid here; an error is a bug.
+				panic(fmt.Sprintf("metro: churn AddUE: %v", err))
+			}
+			s.nextArrival = at + s.rng.ExpFloat64()/m.cfg.ChurnArrivalRate
+		}
+	}
+	s.cl.AdvanceFrame()
+	if m.cfg.ChurnArrivalRate > 0 {
+		s.cl.HarvestFinished(s.harvestFn)
+	}
+}
+
+// Run advances whole frames until the metro clock reaches duration
+// (absolute simulated seconds) and returns the results.
+func (m *Metro) Run(duration float64) Results {
+	frames := int(math.Ceil(duration / m.FramePeriod()))
+	for i := 0; i < frames; i++ {
+		m.AdvanceFrame()
+	}
+	return m.Results()
+}
+
+// Close releases the worker pool. The metro must not be advanced after
+// Close; Results remains safe.
+func (m *Metro) Close() {
+	if m.start != nil && !m.closed {
+		close(m.start)
+		m.closed = true
+	}
+}

@@ -1,0 +1,187 @@
+package metro
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"mmreliable/internal/nr"
+)
+
+// runMetro builds and runs a metro with the given worker count and returns
+// its results.
+func runMetro(t testing.TB, cfg Config, workers int, duration float64) Results {
+	t.Helper()
+	cfg.Workers = workers
+	m, err := New(nr.Mu3(), cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer m.Close()
+	return m.Run(duration)
+}
+
+// TestMetroDeterminismAcrossWorkers is the tentpole acceptance pin: a
+// 64-site metro with session churn produces byte-identical Results at 1
+// and 8 workers (and the deterministic text report renders identically).
+func TestMetroDeterminismAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("64-site determinism run is seconds of wall clock")
+	}
+	cfg := DefaultConfig()
+	cfg.Clusters = 64
+	cfg.Seed = 7
+	r1 := runMetro(t, cfg, 1, 0.6)
+	r8 := runMetro(t, cfg, 8, 0.6)
+	if !reflect.DeepEqual(r1, r8) {
+		t.Fatalf("metro results differ between 1 and 8 workers:\n1: %+v\n8: %+v", r1, r8)
+	}
+	var b1, b8 bytes.Buffer
+	r1.Write(&b1)
+	r8.Write(&b8)
+	if !bytes.Equal(b1.Bytes(), b8.Bytes()) {
+		t.Fatalf("metro reports differ between 1 and 8 workers:\n%s\nvs\n%s", b1.String(), b8.String())
+	}
+	if r1.UEs == 0 || r1.Measured == 0 || r1.Slots == 0 {
+		t.Fatalf("degenerate run: %+v", r1)
+	}
+	if r1.Counters.UEsFinished == 0 {
+		t.Fatal("churn run finished no UEs — harvest path not exercised")
+	}
+}
+
+// TestMetroChurnBoundsResidency pins the streaming-aggregation memory
+// contract: with harvesting on, the resident UE population stays bounded
+// by the churn equilibrium while the folded session count keeps growing —
+// the cluster is NOT accumulating every UE ever served.
+func TestMetroChurnBoundsResidency(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Clusters = 4
+	cfg.ChurnArrivalRate = 4
+	cfg.MeanSessionS = 0.4
+	m, err := New(nr.Mu3(), cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer m.Close()
+	frames := int(3.0 / m.FramePeriod())
+	peak := 0
+	for i := 0; i < frames; i++ {
+		m.AdvanceFrame()
+		if r := m.ResidentUEs(); r > peak {
+			peak = r
+		}
+	}
+	res := m.Results()
+	// Equilibrium residency ≈ rate × mean session ≈ 1.6/site plus the
+	// initial two; sessions over 3 s ≈ 12/site. If harvesting broke,
+	// residency would equal total sessions.
+	if res.UEs < res.ResidentUEs*2 {
+		t.Fatalf("only %d total sessions vs %d resident: churn too weak to prove harvesting",
+			res.UEs, res.ResidentUEs)
+	}
+	if peak >= res.UEs {
+		t.Fatalf("peak residency %d reached total sessions %d: finished UEs not harvested", peak, res.UEs)
+	}
+	if res.Counters.UEsFinished == 0 {
+		t.Fatal("no UE ever finished")
+	}
+	// The folded aggregate must cover every session: finished + resident.
+	if res.UEs != res.Counters.UEsFinished+res.ResidentUEs {
+		t.Fatalf("folded sessions %d != finished %d + resident %d",
+			res.UEs, res.Counters.UEsFinished, res.ResidentUEs)
+	}
+}
+
+// TestMetroWorkerPoolRace exercises the shard-stealing pool under churn so
+// `go test -race` sweeps the frame barrier, the shared indexed environment,
+// and the per-shard sketch folds. Results correctness is covered by the
+// determinism test; this one just needs concurrent execution.
+func TestMetroWorkerPoolRace(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Clusters = 16
+	cfg.Shards = 8
+	cfg.Workers = 4
+	m, err := New(nr.Mu3(), cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer m.Close()
+	for i := 0; i < 20; i++ {
+		m.AdvanceFrame()
+	}
+	if m.Results().Slots == 0 {
+		t.Fatal("no slots measured")
+	}
+}
+
+// TestMetroMidRunResultsRepeatable: Results mid-run must not perturb the
+// live sketches (it reduces clones), so calling it twice — or continuing
+// the run afterwards — changes nothing.
+func TestMetroMidRunResultsRepeatable(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Clusters = 4
+	m, err := New(nr.Mu3(), cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer m.Close()
+	for i := 0; i < 15; i++ {
+		m.AdvanceFrame()
+	}
+	a := m.Results()
+	b := m.Results()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("repeated Results() calls differ")
+	}
+
+	// And a fresh metro advanced the same way, with Results polled every
+	// frame, lands on the same final state.
+	m2, err := New(nr.Mu3(), cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer m2.Close()
+	for i := 0; i < 15; i++ {
+		m2.AdvanceFrame()
+		_ = m2.Results()
+	}
+	if c := m2.Results(); !reflect.DeepEqual(a, c) {
+		t.Fatal("polling Results every frame perturbed the run")
+	}
+}
+
+// TestMetroShardPartitionInvariants checks shard bookkeeping across odd
+// site/shard ratios.
+func TestMetroShardPartitionInvariants(t *testing.T) {
+	for _, tc := range []struct{ clusters, shards int }{
+		{1, 0}, {3, 2}, {7, 3}, {64, 0}, {65, 0}, {5, 64},
+	} {
+		cfg := DefaultConfig()
+		cfg.Clusters = tc.clusters
+		cfg.Shards = tc.shards
+		cfg.ChurnArrivalRate = 0
+		cfg.UEsPerCluster = 1
+		m, err := New(nr.Mu3(), cfg)
+		if err != nil {
+			t.Fatalf("New(%+v): %v", tc, err)
+		}
+		covered := 0
+		for s := 0; s < m.Shards(); s++ {
+			lo, hi := m.shardLo[s], m.shardLo[s+1]
+			if hi <= lo {
+				t.Fatalf("%+v: empty shard %d", tc, s)
+			}
+			for si := lo; si < hi; si++ {
+				if m.shardOf(si) != s {
+					t.Fatalf("%+v: site %d maps to shard %d, want %d", tc, si, m.shardOf(si), s)
+				}
+			}
+			covered += hi - lo
+		}
+		if covered != tc.clusters {
+			t.Fatalf("%+v: shards cover %d sites, want %d", tc, covered, tc.clusters)
+		}
+		m.Close()
+	}
+}

@@ -2,7 +2,6 @@ package nr
 
 import (
 	"math"
-	"sort"
 
 	"mmreliable/internal/antenna"
 	"mmreliable/internal/channel"
@@ -19,11 +18,16 @@ type SweepResult struct {
 
 // Angles returns the nominal angle of each selected peak.
 func (r SweepResult) Angles(cb *antenna.Codebook) []float64 {
-	out := make([]float64, len(r.Peaks))
-	for i, p := range r.Peaks {
-		out[i] = cb.Angles[p]
+	return r.AnglesInto(cb, make([]float64, 0, len(r.Peaks)))
+}
+
+// AnglesInto appends the nominal angle of each selected peak to dst and
+// returns it — the allocation-free form of Angles.
+func (r SweepResult) AnglesInto(cb *antenna.Codebook, dst []float64) []float64 {
+	for _, p := range r.Peaks {
+		dst = append(dst, cb.Angles[p])
 	}
-	return out
+	return dst
 }
 
 // Sweep performs an exhaustive SSB sweep over the codebook, measuring RSS
@@ -32,16 +36,42 @@ func (r SweepResult) Angles(cb *antenna.Codebook) []float64 {
 // dynRangeDB of the strongest. This is the paper's "any standard beam
 // training" building block (Fig. 2).
 func Sweep(s *Sounder, m *channel.Model, cb *antenna.Codebook, maxBeams, minSepIdx int, dynRangeDB float64) SweepResult {
-	res := SweepResult{RSS: make([]float64, cb.Len())}
-	// One CSI buffer serves the whole sweep: only the scalar RSS of each
-	// probe survives the iteration.
-	csi := make(cmx.Vector, s.NumSC)
+	var sc SweepScratch
+	return SweepInto(s, m, cb, maxBeams, minSepIdx, dynRangeDB, &sc)
+}
+
+// SweepScratch holds the reusable storage one SweepInto call needs: the RSS
+// vector (which the returned SweepResult references — valid until the next
+// SweepInto with the same scratch), the peak-selection mask and index list,
+// and the probe CSI landing buffer. The zero value is ready to use; buffers
+// grow on first use and are retained, so a manager that re-trains
+// periodically sweeps without touching the allocator.
+type SweepScratch struct {
+	rss   []float64
+	mask  []bool
+	peaks []int
+	csi   cmx.Vector
+}
+
+// SweepInto is Sweep drawing every buffer from sc. Probing order, peak
+// selection, and result ordering are identical to Sweep; only the storage
+// differs, so the two are interchangeable under the determinism contract.
+func SweepInto(s *Sounder, m *channel.Model, cb *antenna.Codebook, maxBeams, minSepIdx int, dynRangeDB float64, sc *SweepScratch) SweepResult {
+	n := cb.Len()
+	if cap(sc.rss) < n {
+		sc.rss = make([]float64, n)
+	}
+	if cap(sc.csi) < s.NumSC {
+		sc.csi = make(cmx.Vector, s.NumSC)
+	}
+	res := SweepResult{RSS: sc.rss[:n]}
+	csi := sc.csi[:s.NumSC]
 	for i, w := range cb.Weights {
 		res.RSS[i] = RSS(s.ProbeInto(m, w, csi))
 		res.NumProbe++
 	}
 	res.AirTime = float64(res.NumProbe) * s.Num.SSBDuration()
-	res.Peaks = SelectPeaks(res.RSS, maxBeams, minSepIdx, dynRangeDB)
+	res.Peaks = selectPeaksInto(sc, res.RSS, maxBeams, minSepIdx, dynRangeDB)
 	return res
 }
 
@@ -53,14 +83,29 @@ func Sweep(s *Sounder, m *channel.Model, cb *antenna.Codebook, maxBeams, minSepI
 // beams merge two nearby paths into a single hump with no second local
 // maximum. Results are ordered strongest first.
 func SelectPeaks(rss []float64, maxBeams, minSep int, dynRangeDB float64) []int {
+	var sc SweepScratch
+	return selectPeaksInto(&sc, rss, maxBeams, minSep, dynRangeDB)
+}
+
+// selectPeaksInto is SelectPeaks working out of sc's mask/peak storage.
+// The greedy selection yields peaks in non-increasing RSS order already, so
+// the final stable insertion sort is a no-op guard that matches
+// sort.Slice's behavior on the tiny (≤ maxBeams) slices involved.
+func selectPeaksInto(sc *SweepScratch, rss []float64, maxBeams, minSep int, dynRangeDB float64) []int {
 	if len(rss) == 0 || maxBeams <= 0 {
 		return nil
 	}
 	if minSep < 1 {
 		minSep = 1
 	}
-	masked := make([]bool, len(rss))
-	var peaks []int
+	if cap(sc.mask) < len(rss) {
+		sc.mask = make([]bool, len(rss))
+	}
+	masked := sc.mask[:len(rss)]
+	for i := range masked {
+		masked[i] = false
+	}
+	peaks := sc.peaks[:0]
 	floor := math.Inf(1)
 	for len(peaks) < maxBeams {
 		best, bestVal := -1, 0.0
@@ -84,7 +129,12 @@ func SelectPeaks(rss []float64, maxBeams, minSep int, dynRangeDB float64) []int 
 			}
 		}
 	}
-	sort.Slice(peaks, func(a, b int) bool { return rss[peaks[a]] > rss[peaks[b]] })
+	for i := 1; i < len(peaks); i++ {
+		for j := i; j > 0 && rss[peaks[j]] > rss[peaks[j-1]]; j-- {
+			peaks[j], peaks[j-1] = peaks[j-1], peaks[j]
+		}
+	}
+	sc.peaks = peaks[:0]
 	return peaks
 }
 

@@ -44,12 +44,19 @@ type FrontEnd struct {
 
 // New returns a front end for the given array and quantizer.
 func New(arr *antenna.ULA, q antenna.Quantizer) *FrontEnd {
-	return &FrontEnd{
+	f := &FrontEnd{
 		Array:         arr,
 		Quant:         q,
 		SwitchLatency: DefaultSwitchLatency,
 		regs:          make(map[int]cmx.Vector),
 	}
+	// Pre-size both weight registers: SetWeights double-buffers through
+	// them, and lazy sizing would otherwise charge one allocation to each
+	// of the first two weight loads — visible as a late one-time blip in
+	// the pinned zero-alloc session loops.
+	f.setBufs[0] = make(cmx.Vector, arr.N)
+	f.setBufs[1] = make(cmx.Vector, arr.N)
+	return f
 }
 
 // StoreBeam quantizes w and stores it in register id. Real arrays keep only
