@@ -401,6 +401,49 @@ func BenchmarkStationSlot(b *testing.B) {
 	b.ReportMetric(1e9/perSlot, "sessionslots/s")
 }
 
+// BenchmarkStationSlotQuiescent is BenchmarkStationSlot with fading
+// disabled: the static, unblocked sessions are then temporally coherent
+// slot to slot and the incremental frame engine's quiescent fast paths
+// carry the frame (run with MMR_INCREMENTAL=off for the full-recompute
+// cost of the same fixture). The gap between this and BenchmarkStationSlot
+// is the fading-driven recompute floor, not engine overhead.
+func BenchmarkStationSlotQuiescent(b *testing.B) {
+	st, err := station.New(nr.Mu3(), station.Config{
+		ProbeBudget: 8, FramePeriod: 20e-3, MaxSessions: 64,
+		Workers: 1, Warmup: sim.StandardWarmup, AgingBoost: 0.25,
+		Manager: manager.DefaultConfig(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const ues = 8
+	for i := 0; i < ues; i++ {
+		s := seeds.Mix(41, int64(i))
+		sc := sim.StaticIndoor(s)
+		sc.Fading = nil
+		if _, err := st.Attach(station.SessionConfig{
+			Scenario: sc,
+			Budget:   sim.IndoorBudget(),
+			Seed:     s,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		st.AdvanceFrame()
+	}
+	slotsPerOp := ues * st.SlotsPerFrame()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.AdvanceFrame()
+	}
+	b.StopTimer()
+	perSlot := float64(b.Elapsed().Nanoseconds()) / float64(b.N*slotsPerOp)
+	b.ReportMetric(perSlot, "ns/sessionslot")
+	b.ReportMetric(1e9/perSlot, "sessionslots/s")
+}
+
 // BenchmarkClusterFrame measures the CoMP coordinator's steady-state cost
 // through the public cluster API: a quiescent 2-cell/2-UE hall deployment
 // (single-worker stations, tracking ablated as in the cluster package's
@@ -460,6 +503,36 @@ func BenchmarkMetroFrame(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(ues*b.N)/b.Elapsed().Seconds(), "UEs/sec")
+}
+
+// BenchmarkMetroFrameMixed measures the incremental frame engine's honest
+// metro workload through the public API: an 8-site city where a quarter of
+// the UEs pace the hall at walking speed (full recompute every slot), the
+// rest sit still (quiescent fast paths), and session churn keeps arrivals
+// and harvests flowing. UEs/sec counts resident-UE-frames per wall-clock
+// second, sampled every frame because churn moves the population.
+func BenchmarkMetroFrameMixed(b *testing.B) {
+	cfg := metro.DefaultConfig()
+	cfg.Clusters = 8
+	cfg.Workers = 1
+	cfg.MobileFraction = 0.25
+	m, err := metro.New(nr.Mu3(), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer m.Close()
+	for i := 0; i < 40; i++ {
+		m.AdvanceFrame()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	ueFrames := 0
+	for i := 0; i < b.N; i++ {
+		ueFrames += m.ResidentUEs()
+		m.AdvanceFrame()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(ueFrames)/b.Elapsed().Seconds(), "UEs/sec")
 }
 
 // BenchmarkTraceIndexed measures the spatial-indexed ray tracer on the

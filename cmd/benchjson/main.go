@@ -31,11 +31,16 @@
 // A benchmark regresses when its ns/op grows by more than 15% (shared-CI
 // noise floor) AND by more than an absolute 250 ns floor — sub-microsecond
 // benchmarks jitter by more than 15% on timer noise alone — or when its
-// allocs/op increases at all. A slower new-side result sampled with fewer
-// than 20 iterations is reported as "skip" rather than gated on. Metadata
-// and archival keys (leading underscore, e.g. `_baseline`) are skipped. The
-// report goes to stdout; with -strict a regression also makes the exit
-// status 1, so CI can choose between an advisory report and a hard gate.
+// allocs/op increases at all. Custom b.ReportMetric units are compared
+// too, with the same 15% noise floor: rate units ("UEs/sec",
+// "sessionslots/s") regress when they SHRINK past the floor, cost units
+// (everything else, e.g. "ns/sessionslot") when they grow. A slower
+// new-side result sampled with fewer than 20 iterations is reported as
+// "skip" rather than gated on — the same guard applies to custom-metric
+// regressions. Metadata and archival keys (leading underscore, e.g.
+// `_baseline`) are skipped. The report goes to stdout; with -strict a
+// regression also makes the exit status 1, so CI can choose between an
+// advisory report and a hard gate.
 package main
 
 import (
@@ -214,6 +219,36 @@ func regressed(oldNs, newNs float64) bool {
 		newNs-oldNs > nsRegressionFloorNs
 }
 
+// higherIsBetter classifies a custom metric unit by direction: rate units
+// ("UEs/sec", "sessionslots/s", anything per second) improve upward, cost
+// units ("ns/sessionslot") improve downward.
+func higherIsBetter(unit string) bool {
+	return strings.HasSuffix(unit, "/s") || strings.HasSuffix(unit, "/sec")
+}
+
+// customRegressions returns the custom metrics of old that regressed in new
+// (direction-aware, same fractional noise floor as ns/op; metrics missing
+// from the new side are ignored — a changed benchmark simply stops
+// reporting them).
+func customRegressions(old, new Result) []string {
+	var out []string
+	for unit, ov := range old.Custom {
+		nv, ok := new.Custom[unit]
+		if !ok || ov == 0 {
+			continue
+		}
+		if higherIsBetter(unit) {
+			if nv < ov*(1-nsRegressionFrac) {
+				out = append(out, fmt.Sprintf("%s %.5g -> %.5g", unit, ov, nv))
+			}
+		} else if nv > ov*(1+nsRegressionFrac) {
+			out = append(out, fmt.Sprintf("%s %.5g -> %.5g", unit, ov, nv))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
 // runCompare loads the old results from oldPath and the new results from
 // newPath (or stdin when empty), prints a comparison report, and returns
 // the process exit code: 1 when strict and at least one benchmark
@@ -258,17 +293,21 @@ func runCompare(oldPath, newPath string, strict bool) int {
 		}
 		slower := regressed(o.NsPerOp, n.NsPerOp)
 		moreAllocs := o.AllocsPerOp != nil && n.AllocsPerOp != nil && *n.AllocsPerOp > *o.AllocsPerOp
+		customBad := customRegressions(o, n)
 		underSampled := n.Iterations > 0 && n.Iterations < minCompareIterations
 		switch {
-		case slower && underSampled && !moreAllocs:
+		case (slower || len(customBad) > 0) && underSampled && !moreAllocs:
 			// Too few iterations to trust the timing; don't gate on it.
 			fmt.Printf("skip     %-36s %12.0f -> %12.0f ns/op (%.2fx, only %d iterations)\n",
 				name, o.NsPerOp, n.NsPerOp, ratio, n.Iterations)
-		case slower || moreAllocs:
+		case slower || moreAllocs || len(customBad) > 0:
 			regressions++
 			detail := ""
 			if moreAllocs {
 				detail = fmt.Sprintf("  allocs %d -> %d", *o.AllocsPerOp, *n.AllocsPerOp)
+			}
+			for _, c := range customBad {
+				detail += "  " + c
 			}
 			fmt.Printf("REGRESS  %-36s %12.0f -> %12.0f ns/op (%.2fx)%s\n",
 				name, o.NsPerOp, n.NsPerOp, ratio, detail)
@@ -281,8 +320,8 @@ func runCompare(oldPath, newPath string, strict bool) int {
 		}
 	}
 	if regressions > 0 {
-		fmt.Printf("%d regression(s) (>%.0f%% and >%.0f ns/op, or any allocs/op increase)\n",
-			regressions, nsRegressionFrac*100, nsRegressionFloorNs)
+		fmt.Printf("%d regression(s) (>%.0f%% and >%.0f ns/op, any allocs/op increase, or a >%.0f%% custom-metric move the wrong way)\n",
+			regressions, nsRegressionFrac*100, nsRegressionFloorNs, nsRegressionFrac*100)
 		if strict {
 			return 1
 		}

@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"reflect"
+	"testing"
+)
 
 func TestParseResultsJSONSkipsUnderscoreKeys(t *testing.T) {
 	in := []byte(`{
@@ -56,6 +59,34 @@ func TestParseResultsBenchText(t *testing.T) {
 	r, ok := got["BenchmarkY"]
 	if !ok || r.NsPerOp != 456 || r.BytesPerOp == nil || *r.BytesPerOp != 32 {
 		t.Fatalf("BenchmarkY parsed wrong: %+v (ok=%v)", r, ok)
+	}
+}
+
+// TestCustomRegressions pins the direction-aware custom-metric gate: rate
+// units (".../s", ".../sec") regress when they shrink past the noise floor,
+// cost units when they grow past it; metrics absent from the new side are
+// ignored.
+func TestCustomRegressions(t *testing.T) {
+	mk := func(m map[string]float64) Result { return Result{Custom: m} }
+	cases := []struct {
+		name     string
+		old, new map[string]float64
+		want     []string
+	}{
+		{"rate within noise", map[string]float64{"UEs/sec": 1000}, map[string]float64{"UEs/sec": 900}, nil},
+		{"rate collapsed", map[string]float64{"UEs/sec": 1000}, map[string]float64{"UEs/sec": 600},
+			[]string{"UEs/sec 1000 -> 600"}},
+		{"rate improved", map[string]float64{"sessionslots/s": 1000}, map[string]float64{"sessionslots/s": 2000}, nil},
+		{"cost grew", map[string]float64{"ns/sessionslot": 1000}, map[string]float64{"ns/sessionslot": 1500},
+			[]string{"ns/sessionslot 1000 -> 1500"}},
+		{"cost shrank", map[string]float64{"ns/sessionslot": 1000}, map[string]float64{"ns/sessionslot": 500}, nil},
+		{"metric dropped from new side", map[string]float64{"UEs/sec": 1000}, nil, nil},
+	}
+	for _, c := range cases {
+		got := customRegressions(mk(c.old), mk(c.new))
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("%s: customRegressions = %v want %v", c.name, got, c.want)
+		}
 	}
 }
 

@@ -15,7 +15,11 @@
 // seeds.Mix from -seed), all cross-cell decisions happen single-threaded at
 // frame boundaries, and the output carries no wall-clock or host-dependent
 // fields — so stdout is byte-identical for any -workers value. CI diffs
-// -workers 1 against -workers 8 on a 4-cell churn+blockage run.
+// -workers 1 against -workers 8 on a 4-cell churn+blockage run, and
+// MMR_INCREMENTAL=off against the default incremental engine.
+//
+// -cpuprofile / -memprofile write pprof profiles of the run (see the README
+// "Profiling the metro loop").
 package main
 
 import (
@@ -23,6 +27,8 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"mmreliable/internal/cluster"
 	"mmreliable/internal/env"
@@ -54,6 +60,8 @@ func main() {
 	blockage := flag.Bool("blockage", false, "deep body blocker crossing each UE's nearest-cell link, onset staggered per UE")
 	churn := flag.Bool("churn", false, "mid-run churn: every 4th UE attaches at 0.3×duration, every 5th detaches at 0.7×duration")
 	perUE := flag.Bool("per-ue", false, "print the per-UE result table")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with `go tool pprof`)")
+	memProfile := flag.String("memprofile", "", "write an allocation (heap) profile to this file at exit")
 	flag.Parse()
 
 	switch {
@@ -66,6 +74,35 @@ func main() {
 	case *budget < 0:
 		fmt.Fprintln(os.Stderr, "mmcluster: -budget must be ≥ 0")
 		os.Exit(1)
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			runtime.GC() // materialize up-to-date allocation stats
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}()
 	}
 
 	e, poses := env.MultiCellHall(env.Band28GHz(), *cells)

@@ -15,14 +15,20 @@
 // the site index, shards are fixed site ranges executed whole, and the
 // final reduction walks shards in index order — so stdout is byte-identical
 // for any -workers value. CI diffs -workers 1 against -workers 8 on a
-// 64-site churn run. Wall-clock throughput (UEs/sec) goes to stderr so it
+// 64-site churn run, and MMR_INCREMENTAL=off against the default
+// incremental engine. Wall-clock throughput (UEs/sec) goes to stderr so it
 // never perturbs the diff.
+//
+// -cpuprofile / -memprofile write pprof profiles of the run (see the README
+// "Profiling the metro loop").
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"mmreliable/internal/metro"
@@ -40,6 +46,10 @@ func main() {
 	shards := flag.Int("shards", 0, "shard count (0 = default 64); part of the determinism contract — fix it when comparing runs")
 	churn := flag.Float64("churn", def.ChurnArrivalRate, "session arrivals per second per site (0 disables churn)")
 	session := flag.Float64("session", def.MeanSessionS, "mean session length in seconds (exponential dwell)")
+	mobile := flag.Float64("mobile", def.MobileFraction, "fraction of UEs that pace the hall at walking speed (0 = all static)")
+	speed := flag.Float64("speed", def.SpeedMPS, "mobile-UE walking speed in m/s (0 = 1.4)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with `go tool pprof`)")
+	memProfile := flag.String("memprofile", "", "write an allocation (heap) profile to this file at exit")
 	flag.Parse()
 
 	switch {
@@ -55,6 +65,38 @@ func main() {
 	case *churn < 0 || *session <= 0:
 		fmt.Fprintln(os.Stderr, "mmmetro: -churn must be ≥ 0 and -session > 0")
 		os.Exit(1)
+	case *mobile < 0 || *mobile > 1:
+		fmt.Fprintln(os.Stderr, "mmmetro: -mobile must be in [0,1]")
+		os.Exit(1)
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			runtime.GC() // materialize up-to-date allocation stats
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}()
 	}
 
 	cfg := def
@@ -66,6 +108,8 @@ func main() {
 	cfg.Shards = *shards
 	cfg.ChurnArrivalRate = *churn
 	cfg.MeanSessionS = *session
+	cfg.MobileFraction = *mobile
+	cfg.SpeedMPS = *speed
 
 	m, err := metro.New(nr.Mu3(), cfg)
 	if err != nil {

@@ -62,6 +62,13 @@ type Model struct {
 	// cheap per-path snapshot check (e.g. editing RxWeights elements in
 	// place, or mutating Tx geometry) must call InvalidateCache.
 	epoch uint64
+	// stamp is the model's content version: writers bump it (BumpStamp,
+	// CopyStateFrom, InvalidateCache) whenever the channel state may have
+	// changed, and consumers key derived-value caches on it (the manager's
+	// per-slot SNR fold, the station's batch-entry skip). An unchanged stamp
+	// guarantees unchanged content; the converse need not hold — a bump with
+	// identical content merely costs one redundant recompute.
+	stamp uint64
 	// cache holds a *modelCache built lazily on first wideband evaluation;
 	// it is read and replaced atomically so concurrent READ-ONLY use of one
 	// Model (the parallel experiment runner's worker pool) is race-free.
@@ -308,7 +315,15 @@ func (c *modelCache) refreshLoss(m *Model) {
 // hatch for mutations the snapshot cannot see (in-place RxWeights element
 // edits, Tx/Rx geometry changes). It requires the same exclusive access as
 // any other Model mutation.
-func (m *Model) InvalidateCache() { m.epoch++ }
+func (m *Model) InvalidateCache() { m.epoch++; m.stamp++ }
+
+// Stamp returns the model's content version (see the stamp field).
+func (m *Model) Stamp() uint64 { return m.stamp }
+
+// BumpStamp records a content change for stamp-keyed consumers without
+// invalidating the factored-kernel cache — the per-path snapshot validation
+// already sees ordinary Paths/ExtraLossDB mutations.
+func (m *Model) BumpStamp() { m.stamp++ }
 
 // pathCache returns a valid frequency-independent path cache, rebuilding it
 // if the model changed since the last build. Concurrent readers may race to
@@ -625,6 +640,7 @@ func (m *Model) CopyStateFrom(src *Model) {
 	}
 	m.Paths = m.Paths[:len(src.Paths)]
 	copy(m.Paths, src.Paths)
+	m.stamp++
 }
 
 // StrongestPath returns the index of the path with the lowest total loss,

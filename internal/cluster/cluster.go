@@ -32,6 +32,7 @@ import (
 
 	"mmreliable/internal/channel"
 	"mmreliable/internal/env"
+	"mmreliable/internal/incr"
 	"mmreliable/internal/link"
 	"mmreliable/internal/nr"
 	"mmreliable/internal/scratch"
@@ -357,6 +358,13 @@ func (cl *Cluster) finishUE(u *ue) {
 // the monitor EWMA. Standby retargets run after all probes; they read only
 // monitor estimates and admission state, and relative retarget order across
 // UEs is preserved, so decisions match the pair-at-a-time schedule.
+//
+// Incremental engine: a pair whose channel content stamp and wide beam are
+// unchanged since its last round (u.monRowFresh) replays its cached planar
+// row through ProbeFromSplit inline instead of re-registering with the
+// batch. The sounder still fires — each pair's RNG stream is private, so
+// its noise draws, the EWMA fold, and every counter are byte-identical to
+// the full-eval schedule; only the noiseless planar arithmetic is skipped.
 func (cl *Cluster) monitorRound(t1 float64) {
 	cl.counters.MonitorRounds++
 	cl.monPairs = cl.monPairs[:0]
@@ -380,6 +388,12 @@ func (cl *Cluster) monitorRound(t1 float64) {
 			if m == nil {
 				continue // fully shadowed: −Inf recorded, no probe fired
 			}
+			if incr.Enabled && u.monRowFresh(c, m) {
+				csi := u.monSnd[c].ProbeFromSplit(u.monRowRe[c], u.monRowIm[c], u.monCSI)
+				u.foldMonitorEstimate(cl, c, csi)
+				cl.counters.MonitorRowsReused++
+				continue
+			}
 			cl.monBatch.Add(m, u.monBeam[c])
 			cl.monPairs = append(cl.monPairs, monPair{u: u, c: c})
 		}
@@ -391,6 +405,9 @@ func (cl *Cluster) monitorRound(t1 float64) {
 			re, im := cl.monBatch.Row(r)
 			csi := p.u.monSnd[p.c].ProbeFromSplit(re, im, p.u.monCSI)
 			p.u.foldMonitorEstimate(cl, p.c, csi)
+			if incr.Enabled {
+				p.u.monRowStore(p.c, p.u.monMod[p.c], re, im)
+			}
 		}
 		cl.monWS.Release(mk)
 	}

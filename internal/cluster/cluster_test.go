@@ -8,6 +8,7 @@ import (
 
 	"mmreliable/internal/env"
 	"mmreliable/internal/events"
+	"mmreliable/internal/incr"
 	"mmreliable/internal/link"
 	"mmreliable/internal/nr"
 	"mmreliable/internal/sim"
@@ -44,11 +45,19 @@ func servingBlockage(i int) events.Schedule {
 // arrives late, every fifth leaves early). Deterministic in
 // (cells, ues, seed, workers).
 func buildCluster(t testing.TB, cells, ues, workers int, seed int64, blocked, churn bool) *Cluster {
+	return buildClusterWith(t, cells, ues, workers, seed, blocked, churn, nil)
+}
+
+// buildClusterWith is buildCluster with a Config hook applied before New.
+func buildClusterWith(t testing.TB, cells, ues, workers int, seed int64, blocked, churn bool, mut func(*Config)) *Cluster {
 	t.Helper()
 	e, poses := env.MultiCellHall(env.Band28GHz(), cells)
 	cfg := DefaultConfig()
 	cfg.Seed = seed
 	cfg.Station.Workers = workers
+	if mut != nil {
+		mut(&cfg)
+	}
 	cl, err := New(nr.Mu3(), cfg, Deployment{Env: e, Cells: poses, Budget: sim.IndoorBudget()})
 	if err != nil {
 		t.Fatalf("New: %v", err)
@@ -92,6 +101,45 @@ func TestClusterDeterministicAcrossWorkers(t *testing.T) {
 	}
 	if res1.Counters.UEsFinished == 0 {
 		t.Fatalf("churn did not exercise UE departure: %+v", res1.Counters)
+	}
+}
+
+// TestClusterIncrementalModeEquivalence pins the incremental frame engine's
+// oracle contract at the cluster layer: the blockage+churn fixture produces
+// byte-identical Results with the temporal-coherence fast paths on and off
+// (the MMR_INCREMENTAL=off oracle). The quiescent fixture (fading disabled,
+// spatial index built — the regime where every fast path engages) must also
+// actually fire the monitor row cache; the deliberately mode-variant
+// MonitorRowsReused diagnostic is zeroed before comparison.
+func TestClusterIncrementalModeEquivalence(t *testing.T) {
+	was := incr.Enabled
+	defer func() { incr.Enabled = was }()
+	for _, tc := range []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"fading", nil},
+		{"quiescent", func(c *Config) { c.DisableFading = true }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			const dur = 0.7
+			run := func(enabled bool) Results {
+				incr.Enabled = enabled
+				return buildClusterWith(t, 3, 8, 1, 7, true, true, tc.mut).Run(dur)
+			}
+			on := run(true)
+			off := run(false)
+			if tc.name == "quiescent" && on.Counters.MonitorRowsReused == 0 {
+				t.Fatal("incremental mode never reused a monitor row on the quiescent fixture")
+			}
+			if off.Counters.MonitorRowsReused != 0 {
+				t.Fatalf("oracle mode reused %d monitor rows, want 0", off.Counters.MonitorRowsReused)
+			}
+			on.Counters.MonitorRowsReused = 0
+			if !reflect.DeepEqual(on, off) {
+				t.Fatalf("results differ between incremental and oracle mode:\non:  %+v\noff: %+v", on, off)
+			}
+		})
 	}
 }
 

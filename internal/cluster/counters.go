@@ -21,6 +21,11 @@ type Counters struct {
 	// every probe is charged to the target cell's CSI-RS budget.
 	MonitorRounds int
 	MonitorProbes int
+	// MonitorRowsReused counts monitor probes whose noiseless planar row was
+	// replayed from the pair's cache instead of re-evaluated (incremental
+	// engine only — 0 with MMR_INCREMENTAL=off). Diagnostic: deliberately
+	// mode-VARIANT, so it must never feed stdout or any decision.
+	MonitorRowsReused int
 	// UE lifecycle.
 	UEsAttached        int
 	UEsFinished        int

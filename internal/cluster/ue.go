@@ -26,6 +26,11 @@ type UEConfig struct {
 	// mobility-driven; the per-pair facing toward each cell stands in for a
 	// quasi-omni terminal panel.
 	Pos env.Vec2
+	// Motion, when non-nil, makes the UE mobile: the trace supplies the
+	// position over the session (its facing is ignored — each pair's
+	// scenario re-faces the panel toward its cell, the same quasi-omni
+	// convention as the static case). Pos is then unused.
+	Motion motion.Trace
 	// Blockage holds per-cell blockage schedules (index = cell, nil = that
 	// link is never blocked). A blocker crossing the UE's serving link
 	// shadows only that cell's paths — the geometry that makes a second
@@ -52,9 +57,24 @@ type ue struct {
 	monSnd  []*nr.Sounder    // monitor sounders (lazily built)
 	monMod  []*channel.Model // monitor channel models (Reuse, lazily built)
 	monBeam []cmx.Vector     // wide probe beams (lazily built, retained)
+	monAoD  []float64        // AoD each wide beam was steered to (re-steer key)
 	monCSI  cmx.Vector       // probe CSI scratch, shared across cells
 	monEst  []float64        // monitor SNR estimates (narrow-beam-equivalent dB)
 	monSeen []bool
+
+	// Monitor row cache (incremental engine only): the pair's last noiseless
+	// planar batch row and the inputs it was computed from. A batch row is a
+	// pure function of (model content, beam weights, subcarrier offsets); the
+	// model pointer and offsets are fixed per pair, so while the model's
+	// content stamp and the beam's identity are unchanged, the planar eval
+	// would reproduce the row bit for bit and the pair can replay the cached
+	// row through its (private-RNG) sounder instead of re-registering with
+	// the batch.
+	monRowRe    [][]float64
+	monRowIm    [][]float64
+	monRowStamp []uint64
+	monRowBeam  []*complex128
+	monRowOK    []bool
 
 	// Lifecycle.
 	attached        bool
@@ -96,8 +116,14 @@ func (cl *Cluster) AddUE(cfg UEConfig) (int, error) {
 		monSnd:      make([]*nr.Sounder, n),
 		monMod:      make([]*channel.Model, n),
 		monBeam:     make([]cmx.Vector, n),
+		monAoD:      make([]float64, n),
 		monEst:      make([]float64, n),
 		monSeen:     make([]bool, n),
+		monRowRe:    make([][]float64, n),
+		monRowIm:    make([][]float64, n),
+		monRowStamp: make([]uint64, n),
+		monRowBeam:  make([]*complex128, n),
+		monRowOK:    make([]bool, n),
 		serving:     -1,
 		standby:     -1,
 		prevServing: -1, // no prior serving cell: a first swap is never a ping-pong
@@ -135,13 +161,19 @@ func (cl *Cluster) pairScenario(u *ue, c int) *sim.Scenario {
 		fading = sim.NewFading(sim.DefaultFadingSigmaDB, sim.DefaultFadingCoherence,
 			rand.New(rand.NewSource(fadeSeed)))
 	}
+	var trace motion.Trace
+	if u.cfg.Motion != nil {
+		trace = faceCell{inner: u.cfg.Motion, cell: pose.Pos}
+	} else {
+		trace = motion.Static{Pose: env.Pose{
+			Pos:    u.cfg.Pos,
+			Facing: env.FacingFrom(u.cfg.Pos, pose.Pos),
+		}}
+	}
 	return &sim.Scenario{
 		Env: cl.dep.Env,
 		GNB: pose,
-		UE: motion.Static{Pose: env.Pose{
-			Pos:    u.cfg.Pos,
-			Facing: env.FacingFrom(u.cfg.Pos, pose.Pos),
-		}},
+		UE:  trace,
 		Blockage: blk,
 		Duration: 3600, // cluster runs are bounded by Run(duration), not the scenario
 		Num:      cl.num,
@@ -149,6 +181,21 @@ func (cl *Cluster) pairScenario(u *ue, c int) *sim.Scenario {
 		MaxPaths: 3,
 		Fading:   fading,
 	}
+}
+
+// faceCell adapts a positional trace to one (UE, cell) pair: positions come
+// from the inner trace, facing always points at the pair's cell — the same
+// quasi-omni panel convention the static case uses.
+type faceCell struct {
+	inner motion.Trace
+	cell  env.Vec2
+}
+
+// At implements motion.Trace.
+func (f faceCell) At(t float64) env.Pose {
+	p := f.inner.At(t)
+	p.Facing = env.FacingFrom(p.Pos, f.cell)
+	return p
 }
 
 // attachLeg opens a station session for (u, cell c) at time t0. The
@@ -205,9 +252,13 @@ func (u *ue) ensureMonitor(cl *Cluster, c int) {
 // refreshMonitorModel advances the pair's channel model to time t and
 // returns it, or nil after recording a −Inf estimate when the pair has no
 // geometric paths (fully shadowed — no probe is fired, matching a sounder
-// that hears nothing). Also lazily points the pair's wide beam at the
+// that hears nothing). Also keeps the pair's wide beam pointed at the
 // strongest geometric path: static UEs keep their angles, only losses move
-// (blockage/fading), so the beam never needs re-steering.
+// (blockage/fading), so the beam is built once and retained; a mobile UE
+// re-steers only when the strongest AoD has drifted past the re-steer
+// threshold (the wide beam covers the sector, so small drift costs nothing).
+// Re-steering replaces the beam vector, which also invalidates the pair's
+// incremental monitor-row cache through its beam-identity key.
 func (u *ue) refreshMonitorModel(cl *Cluster, c int, t float64) *channel.Model {
 	m := u.monMod[c]
 	u.scen[c].ChannelInto(t, m)
@@ -216,10 +267,47 @@ func (u *ue) refreshMonitorModel(cl *Cluster, c int, t float64) *channel.Model {
 		u.monSeen[c] = true
 		return nil
 	}
-	if u.monBeam[c] == nil {
-		u.monBeam[c] = antenna.WideBeam(m.Tx, m.Paths[m.StrongestPath()].Path.AoD, cl.cfg.MonitorElems)
+	aod := m.Paths[m.StrongestPath()].Path.AoD
+	if u.monBeam[c] == nil || math.Abs(wrapAngle(aod-u.monAoD[c])) > monitorResteerRad {
+		u.monBeam[c] = antenna.WideBeam(m.Tx, aod, cl.cfg.MonitorElems)
+		u.monAoD[c] = aod
 	}
 	return m
+}
+
+// wrapAngle maps an angle difference into (−π, π].
+func wrapAngle(d float64) float64 {
+	d = math.Mod(d, 2*math.Pi)
+	if d > math.Pi {
+		d -= 2 * math.Pi
+	}
+	if d < -math.Pi {
+		d += 2 * math.Pi
+	}
+	return d
+}
+
+// monRowFresh reports whether the pair's cached planar row is still the row
+// the batch would compute: same model content (stamp) and same wide beam
+// (built once and retained, so head identity suffices).
+func (u *ue) monRowFresh(c int, m *channel.Model) bool {
+	return u.monRowOK[c] && u.monRowStamp[c] == m.Stamp() && u.monRowBeam[c] == &u.monBeam[c][0]
+}
+
+// monRowStore snapshots the pair's planar row (the batch's slab is released
+// after the round) together with the inputs it was computed from.
+func (u *ue) monRowStore(c int, m *channel.Model, re, im []float64) {
+	if cap(u.monRowRe[c]) < len(re) {
+		u.monRowRe[c] = make([]float64, len(re))
+		u.monRowIm[c] = make([]float64, len(im))
+	}
+	u.monRowRe[c] = u.monRowRe[c][:len(re)]
+	u.monRowIm[c] = u.monRowIm[c][:len(im)]
+	copy(u.monRowRe[c], re)
+	copy(u.monRowIm[c], im)
+	u.monRowStamp[c] = m.Stamp()
+	u.monRowBeam[c] = &u.monBeam[c][0]
+	u.monRowOK[c] = true
 }
 
 // foldMonitorEstimate converts a probe's CSI into the narrow-beam-equivalent
@@ -259,4 +347,8 @@ const (
 	// monitorAlpha is the monitor EWMA constant: rounds are 100 ms apart,
 	// so a heavier weight on the newest probe keeps the estimate current.
 	monitorAlpha = 0.5
+	// monitorResteerRad is how far the strongest path's AoD may drift from
+	// the wide beam's steering angle before the beam is rebuilt (≈ 5.7°,
+	// well inside the 2-element beam's width).
+	monitorResteerRad = 0.1
 )

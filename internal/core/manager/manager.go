@@ -26,6 +26,7 @@ import (
 	"mmreliable/internal/core/superres"
 	"mmreliable/internal/core/track"
 	"mmreliable/internal/dsp"
+	"mmreliable/internal/incr"
 	"mmreliable/internal/link"
 	"mmreliable/internal/nr"
 	"mmreliable/internal/phasedarray"
@@ -239,6 +240,21 @@ type Manager struct {
 	// every due opportunity fires). See grant.go.
 	probeGrant ProbeGrant
 
+	// Cached result of the last snr() fold, keyed on everything that feeds
+	// it: the model (identity + content stamp), the front end's program
+	// counter (Switches — slice identity is NOT sound, SetWeights
+	// double-buffers), and the UE combining weights' slice identity (composed
+	// UE vectors are always freshly allocated, see the scratch comment
+	// above). Consulted only under the incremental engine (incr.Enabled);
+	// with MMR_INCREMENTAL=off every slot folds the full wideband response.
+	snrModel  *channel.Model
+	snrStamp  uint64
+	snrFEVer  int
+	snrRxHead *complex128
+	snrRxLen  int
+	snrVal    float64
+	snrValid  bool
+
 	// Stats.
 	TrainingSlots int
 	Retrains      int
@@ -341,6 +357,13 @@ func (g *Manager) ActiveWeights() cmx.Vector { return g.fe.Active() }
 // Frame-barrier batch evaluation uses this to register beams with a
 // channel.WidebandBatch without one clone per session per frame.
 func (g *Manager) ActiveWeightsView() cmx.Vector { return g.fe.ActiveView() }
+
+// WeightsVersion returns the front end's program counter: it advances on
+// every SetWeights/LoadBeam, so an unchanged version guarantees the active
+// weight CONTENT is unchanged — a guarantee slice identity cannot give,
+// since SetWeights double-buffers into recycled backing arrays. Stamp-keyed
+// consumers (the station's batch-entry skip) pair this with Model.Stamp.
+func (g *Manager) WeightsVersion() int { return g.fe.Switches() }
 
 // Offsets returns the subcarrier offset grid the manager evaluates wideband
 // SNR on. The slice is the manager's own grid: treat as read-only.
@@ -475,14 +498,34 @@ func (g *Manager) bindUE(m *channel.Model) {
 }
 
 // snr returns the wideband effective SNR of the current beam over the true
-// channel (−Inf before establishment).
+// channel (−Inf before establishment). Under the incremental engine the
+// fold is cached: a slot whose channel stamp, front-end program and UE
+// weights are all unchanged returns the previous value — which is exactly
+// what the full fold would recompute, every input being bit-identical.
 func (g *Manager) snr(m *channel.Model) float64 {
 	w := g.fe.ActiveView() // read-only: the wideband evaluation only reads w
 	if w == nil {
 		return math.Inf(-1)
 	}
+	if !incr.Enabled {
+		m.EffectiveWidebandSplitInto(w, g.offsets, g.wbRe, g.wbIm)
+		return link.WidebandSNRdBSplitTerms(g.wbRe, g.wbIm, g.txLin, g.noiseLin)
+	}
+	var rxHead *complex128
+	if len(m.RxWeights) > 0 {
+		rxHead = &m.RxWeights[0]
+	}
+	ver := g.fe.Switches()
+	if g.snrValid && g.snrModel == m && g.snrStamp == m.Stamp() && g.snrFEVer == ver &&
+		g.snrRxHead == rxHead && g.snrRxLen == len(m.RxWeights) {
+		return g.snrVal
+	}
 	m.EffectiveWidebandSplitInto(w, g.offsets, g.wbRe, g.wbIm)
-	return link.WidebandSNRdBSplitTerms(g.wbRe, g.wbIm, g.txLin, g.noiseLin)
+	v := link.WidebandSNRdBSplitTerms(g.wbRe, g.wbIm, g.txLin, g.noiseLin)
+	g.snrModel, g.snrStamp, g.snrFEVer = m, m.Stamp(), ver
+	g.snrRxHead, g.snrRxLen = rxHead, len(m.RxWeights)
+	g.snrVal, g.snrValid = v, true
+	return v
 }
 
 // runWithDebt executes an inline maintenance step and charges its CSI-RS

@@ -113,10 +113,30 @@ func (e *Environment) Trace(tx, rx Pose) []Path {
 // insertion sort — path counts are single-digit, and it avoids sort.Slice's
 // closure and reflect-based swapper on the per-slot path.
 func (e *Environment) TraceAppend(dst []Path, tx, rx Pose) []Path {
+	return e.traceAppend(nil, dst, tx, rx)
+}
+
+// TraceAppendCached is TraceAppend with the enumeration half memoized in tc
+// (see TraceCache): the reflection candidate disk and the per-leg occlusion
+// candidate sets are reused across calls while their exact revalidation
+// tests hold, and only the per-pose solve runs. Output is bit-identical to
+// TraceAppend. A nil tc, an environment without an effective spatial index,
+// or an unbounded range (MaxRangeM == 0) all fall back to TraceAppend.
+func (e *Environment) TraceAppendCached(tc *TraceCache, dst []Path, tx, rx Pose) []Path {
+	if tc == nil || e.tracerIndex() == nil || e.MaxRangeM <= 0 {
+		return e.TraceAppend(dst, tx, rx)
+	}
+	return e.traceAppend(tc, dst, tx, rx)
+}
+
+func (e *Environment) traceAppend(tc *TraceCache, dst []Path, tx, rx Pose) []Path {
+	if tc != nil {
+		tc.ensure(e.tracerIndex())
+	}
 	start := len(dst)
 	paths := dst
 	// LOS path.
-	if p, ok := e.losPath(tx, rx); ok {
+	if p, ok := e.losPath(tc, tx, rx); ok {
 		paths = append(paths, p)
 	}
 	if ix := e.tracerIndex(); ix != nil && e.MaxRangeM > 0 {
@@ -129,11 +149,17 @@ func (e *Environment) TraceAppend(dst []Path, tx, rx Pose) []Path {
 		// Each distinct path kind carries a distinct (Via, Via2) key, so
 		// the contractual sort below erases any generation-order
 		// difference versus the brute-force loops.
-		sc := ix.getScratch()
 		mid := Vec2{(tx.Pos.X + rx.Pos.X) / 2, (tx.Pos.Y + rx.Pos.Y) / 2}
-		cands := ix.diskCandidates(sc, mid, e.MaxRangeM/2)
+		var sc *indexScratch
+		var cands []int32
+		if tc != nil {
+			cands = tc.diskCands(ix, mid, e.MaxRangeM/2)
+		} else {
+			sc = ix.getScratch()
+			cands = ix.diskCandidates(sc, mid, e.MaxRangeM/2)
+		}
 		for _, wi := range cands {
-			if p, ok := e.reflectedPath(tx, rx, int(wi)); ok {
+			if p, ok := e.reflectedPath(tc, tx, rx, int(wi)); ok {
 				paths = append(paths, p)
 			}
 		}
@@ -154,11 +180,13 @@ func (e *Environment) TraceAppend(dst []Path, tx, rx Pose) []Path {
 				}
 			}
 		}
-		ix.putScratch(sc)
+		if sc != nil {
+			ix.putScratch(sc)
+		}
 	} else {
 		// First-order reflections via the image method.
 		for wi := range e.Walls {
-			if p, ok := e.reflectedPath(tx, rx, wi); ok {
+			if p, ok := e.reflectedPath(nil, tx, rx, wi); ok {
 				paths = append(paths, p)
 			}
 		}
@@ -214,13 +242,23 @@ func pathLess(a, b Path) bool {
 	return a.Via2 < b.Via2
 }
 
-func (e *Environment) losPath(tx, rx Pose) (Path, bool) {
+// occlusion routes a leg's transmission-loss walk through the trace cache
+// when one is active; legKey identifies the leg's slot in the cache (0 for
+// LOS, 1+2·wi / 2+2·wi for the legs of the reflection off wall wi).
+func (e *Environment) occlusion(tc *TraceCache, legKey int, leg Segment, skip1, skip2 int) (float64, bool) {
+	if tc != nil {
+		return tc.occlusion(e, legKey, leg, skip1, skip2)
+	}
+	return e.transmissionLoss(leg, skip1, skip2)
+}
+
+func (e *Environment) losPath(tc *TraceCache, tx, rx Pose) (Path, bool) {
 	d := tx.Pos.Dist(rx.Pos)
 	if d < 1e-9 || (e.MaxRangeM > 0 && d > e.MaxRangeM) {
 		return Path{}, false
 	}
 	leg := Segment{tx.Pos, rx.Pos}
-	trans, blockedEntirely := e.transmissionLoss(leg, -1, -1)
+	trans, blockedEntirely := e.occlusion(tc, 0, leg, -1, -1)
 	if blockedEntirely {
 		return Path{}, false
 	}
@@ -239,7 +277,7 @@ func (e *Environment) losPath(tx, rx Pose) (Path, bool) {
 	return p, true
 }
 
-func (e *Environment) reflectedPath(tx, rx Pose, wi int) (Path, bool) {
+func (e *Environment) reflectedPath(tc *TraceCache, tx, rx Pose, wi int) (Path, bool) {
 	w := e.Walls[wi]
 	img := w.Seg.mirror(tx.Pos)
 	// The reflected ray exists iff the image→RX segment crosses the wall.
@@ -253,11 +291,11 @@ func (e *Environment) reflectedPath(tx, rx Pose, wi int) (Path, bool) {
 	}
 	leg1 := Segment{tx.Pos, hit}
 	leg2 := Segment{hit, rx.Pos}
-	t1, b1 := e.transmissionLoss(leg1, wi, -1)
+	t1, b1 := e.occlusion(tc, 1+2*wi, leg1, wi, -1)
 	if b1 {
 		return Path{}, false
 	}
-	t2, b2 := e.transmissionLoss(leg2, wi, -1)
+	t2, b2 := e.occlusion(tc, 2+2*wi, leg2, wi, -1)
 	if b2 {
 		return Path{}, false
 	}
@@ -338,32 +376,44 @@ func (e *Environment) transmissionLoss(leg Segment, skip1, skip2 int) (lossDB fl
 	const hardBlockDB = 50
 	if ix := e.tracerIndex(); ix != nil {
 		sc := ix.getScratch()
-		for _, wi := range ix.legCandidates(sc, leg) {
-			i := int(wi)
-			if i == skip1 || i == skip2 {
-				continue
-			}
-			w := e.Walls[i]
-			pt, ok := leg.Intersects(w.Seg)
-			if !ok {
-				continue
-			}
-			if pt.Dist(leg.A) < 1e-9 || pt.Dist(leg.B) < 1e-9 {
-				continue
-			}
-			lossDB += w.Mat.TransLossD
-			if lossDB >= hardBlockDB {
-				ix.putScratch(sc)
-				return lossDB, true
-			}
-		}
+		lossDB, blocked = e.transmissionLossOver(ix.legCandidates(sc, leg), leg, skip1, skip2)
 		ix.putScratch(sc)
-		return lossDB, false
+		return lossDB, blocked
 	}
 	for i, w := range e.Walls {
 		if i == skip1 || i == skip2 {
 			continue
 		}
+		pt, ok := leg.Intersects(w.Seg)
+		if !ok {
+			continue
+		}
+		// Ignore grazing contact at the leg endpoints (shared corners).
+		if pt.Dist(leg.A) < 1e-9 || pt.Dist(leg.B) < 1e-9 {
+			continue
+		}
+		lossDB += w.Mat.TransLossD
+		if lossDB >= hardBlockDB {
+			return lossDB, true
+		}
+	}
+	return lossDB, false
+}
+
+// transmissionLossOver is the accumulation loop of transmissionLoss over an
+// explicit ascending-sorted candidate list. Because only walls that actually
+// intersect the leg (away from its endpoints) contribute, running it over
+// any ascending superset of the intersecting walls — legCandidates' band,
+// or a TraceCache's padded set — produces the same floating-point sum and
+// trips the hard-block exit on the same wall, bit for bit.
+func (e *Environment) transmissionLossOver(cands []int32, leg Segment, skip1, skip2 int) (lossDB float64, blocked bool) {
+	const hardBlockDB = 50
+	for _, wi := range cands {
+		i := int(wi)
+		if i == skip1 || i == skip2 {
+			continue
+		}
+		w := e.Walls[i]
 		pt, ok := leg.Intersects(w.Seg)
 		if !ok {
 			continue

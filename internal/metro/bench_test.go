@@ -12,6 +12,37 @@ import (
 // never end, fading disabled) — the per-frame hot path with zero steady-state
 // allocations. UEs/sec is the headline throughput metric: resident UEs times
 // frames advanced per wall-clock second.
+// BenchmarkMetroFrameMixed measures the mixed mobile/static churn city —
+// the incremental frame engine's honest workload: a quarter of the UEs pace
+// the hall at walking speed (full recompute every slot — the temporal-
+// coherence fast paths never fire for them), the rest sit still (quiescent
+// fast paths), and session churn keeps arrivals and harvests flowing.
+// UEs/sec counts resident-UE-frames per wall-clock second, sampled every
+// frame because churn moves the population.
+func BenchmarkMetroFrameMixed(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.Clusters = 8
+	cfg.Workers = 1
+	cfg.MobileFraction = 0.25
+	m, err := New(nr.Mu3(), cfg)
+	if err != nil {
+		b.Fatalf("New: %v", err)
+	}
+	defer m.Close()
+	for i := 0; i < 40; i++ {
+		m.AdvanceFrame()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	ueFrames := 0
+	for i := 0; i < b.N; i++ {
+		ueFrames += m.ResidentUEs()
+		m.AdvanceFrame()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(ueFrames)/b.Elapsed().Seconds(), "UEs/sec")
+}
+
 func BenchmarkMetroFrame(b *testing.B) {
 	for _, workers := range []int{1, 4} {
 		for _, sites := range []int{8, 64} {

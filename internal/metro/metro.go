@@ -79,6 +79,18 @@ type Config struct {
 	// MinSessionS floors session lengths so a session always outlives
 	// admission plus warmup. Default 0.3 s.
 	MinSessionS float64
+	// MobileFraction is the fraction of UEs (initial population and churn
+	// arrivals alike) that are mobile: each paces back and forth between its
+	// drop position and a second lattice point at SpeedMPS, panel tracking
+	// whichever cell it talks to. 0 (the default) keeps every UE static —
+	// and, to keep existing seeds reproducible, draws nothing from the churn
+	// stream. The mix is what the incremental frame engine's benchmarks
+	// exercise: static UEs ride the quiescent fast paths, mobile UEs pay
+	// full recompute every slot.
+	MobileFraction float64
+	// SpeedMPS is the mobile UEs' walking speed in m/s. 0 defaults to 1.4
+	// (pedestrian).
+	SpeedMPS float64
 	// Cluster configures every site's coordinator; Seed is overridden per
 	// site.
 	Cluster cluster.Config
@@ -209,7 +221,7 @@ func New(num nr.Numerology, cfg Config) (*Metro, error) {
 			s.nextArrival = s.rng.ExpFloat64() / cfg.ChurnArrivalRate
 		}
 		for u := 0; u < cfg.UEsPerCluster; u++ {
-			uc := cluster.UEConfig{Pos: positions[u%len(positions)]}
+			uc := m.newUEConfig(s, positions[u%len(positions)])
 			if cfg.ChurnArrivalRate > 0 {
 				uc.DetachAt = m.sessionLen(s)
 			}
@@ -232,6 +244,45 @@ func New(num nr.Numerology, cfg Config) (*Metro, error) {
 		}
 	}
 	return m, nil
+}
+
+// pacer walks back and forth along the segment a→b at constant speed — a
+// bounded pedestrian trace that keeps a mobile UE inside the hall for runs
+// of any length. Its facing is irrelevant: the cluster re-faces each pair's
+// panel toward its cell (see cluster.UEConfig.Motion).
+type pacer struct {
+	a, b  env.Vec2
+	speed float64
+	span  float64 // |b−a|, > 0
+}
+
+// At implements motion.Trace.
+func (p pacer) At(t float64) env.Pose {
+	d := math.Mod(p.speed*t, 2*p.span)
+	if d > p.span {
+		d = 2*p.span - d
+	}
+	f := d / p.span
+	return env.Pose{Pos: env.Vec2{X: p.a.X + f*(p.b.X-p.a.X), Y: p.a.Y + f*(p.b.Y-p.a.Y)}}
+}
+
+// newUEConfig builds one UE's drop config at position pos, drawing its
+// mobility (mobile-or-static, destination) from the site's churn stream.
+// With MobileFraction = 0 nothing is drawn, so pre-mobility churn streams
+// replay identically.
+func (m *Metro) newUEConfig(s *site, pos env.Vec2) cluster.UEConfig {
+	uc := cluster.UEConfig{Pos: pos}
+	if m.cfg.MobileFraction > 0 && s.rng.Float64() < m.cfg.MobileFraction {
+		to := m.positions[s.rng.Intn(len(m.positions))]
+		if span := to.Sub(pos).Norm(); span > 1e-9 {
+			speed := m.cfg.SpeedMPS
+			if speed <= 0 {
+				speed = 1.4 // pedestrian
+			}
+			uc.Motion = pacer{a: pos, b: to, speed: speed, span: span}
+		}
+	}
+	return uc
 }
 
 // shardOf returns the shard owning site si.
@@ -320,11 +371,9 @@ func (m *Metro) stepSite(s *site) {
 	if m.cfg.ChurnArrivalRate > 0 {
 		for s.nextArrival <= t0 {
 			at := s.nextArrival
-			uc := cluster.UEConfig{
-				Pos:      m.positions[s.rng.Intn(len(m.positions))],
-				AttachAt: at,
-				DetachAt: at + m.sessionLen(s),
-			}
+			uc := m.newUEConfig(s, m.positions[s.rng.Intn(len(m.positions))])
+			uc.AttachAt = at
+			uc.DetachAt = at + m.sessionLen(s)
 			if _, err := s.cl.AddUE(uc); err != nil {
 				// UEConfig is constructed valid here; an error is a bug.
 				panic(fmt.Sprintf("metro: churn AddUE: %v", err))

@@ -5,6 +5,7 @@ import (
 	"reflect"
 	"testing"
 
+	"mmreliable/internal/incr"
 	"mmreliable/internal/nr"
 )
 
@@ -31,6 +32,7 @@ func TestMetroDeterminismAcrossWorkers(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Clusters = 64
 	cfg.Seed = 7
+	cfg.MobileFraction = 0.3 // mixed mobile/static population
 	r1 := runMetro(t, cfg, 1, 0.6)
 	r8 := runMetro(t, cfg, 8, 0.6)
 	if !reflect.DeepEqual(r1, r8) {
@@ -47,6 +49,34 @@ func TestMetroDeterminismAcrossWorkers(t *testing.T) {
 	}
 	if r1.Counters.UEsFinished == 0 {
 		t.Fatal("churn run finished no UEs — harvest path not exercised")
+	}
+}
+
+// TestMetroIncrementalModeEquivalence pins the incremental frame engine's
+// oracle contract end-to-end through the metro stack: a mixed mobile/static
+// churn city (spatial index built, fading off — every temporal-coherence
+// fast path engages for the static UEs while the mobile ones force full
+// recompute and cache revalidation) produces byte-identical Results and a
+// byte-identical text report with the fast paths on and off.
+func TestMetroIncrementalModeEquivalence(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Clusters = 6
+	cfg.Seed = 11
+	cfg.MobileFraction = 0.4
+	was := incr.Enabled
+	defer func() { incr.Enabled = was }()
+	incr.Enabled = true
+	rOn := runMetro(t, cfg, 1, 0.8)
+	incr.Enabled = false
+	rOff := runMetro(t, cfg, 1, 0.8)
+	if !reflect.DeepEqual(rOn, rOff) {
+		t.Fatalf("metro results differ between incremental and oracle mode:\non:  %+v\noff: %+v", rOn, rOff)
+	}
+	var bOn, bOff bytes.Buffer
+	rOn.Write(&bOn)
+	rOff.Write(&bOff)
+	if !bytes.Equal(bOn.Bytes(), bOff.Bytes()) {
+		t.Fatalf("metro reports differ between incremental and oracle mode:\n%s\nvs\n%s", bOn.String(), bOff.String())
 	}
 }
 

@@ -1,8 +1,21 @@
 package station
 
 import (
+	"mmreliable/internal/channel"
+	"mmreliable/internal/incr"
 	"mmreliable/internal/link"
 )
+
+// rxWeightsHead returns the identity of a model's UE combining vector (nil
+// for quasi-omni). Composed UE weight vectors are always freshly allocated
+// (see the manager's scratch invariants), so head+length identity implies
+// unchanged content.
+func rxWeightsHead(m *channel.Model) *complex128 {
+	if len(m.RxWeights) == 0 {
+		return nil
+	}
+	return &m.RxWeights[0]
+}
 
 // batchFrameEntry runs the frame-barrier planar batch pass: every
 // grant-holding established session's active beam is evaluated over its
@@ -30,6 +43,7 @@ func (st *Station) batchFrameEntry() {
 	st.batchIdx = st.batchIdx[:0]
 	var fOffs []float64
 	var bw float64
+	var reused int64
 	for i, ss := range st.active {
 		if ss.grant.tokens <= 0 || !ss.mgr.Established() {
 			continue
@@ -38,6 +52,9 @@ func (st *Station) batchFrameEntry() {
 		if w == nil {
 			continue
 		}
+		// Grid selection and bandwidth gating run BEFORE the reuse check so
+		// the set of sessions updated this frame — and which session's grid
+		// anchors the batch — is identical with the fast path on or off.
 		if fOffs == nil {
 			fOffs = ss.mgr.Offsets()
 			bw = ss.budget.BandwidthHz
@@ -45,9 +62,24 @@ func (st *Station) batchFrameEntry() {
 		} else if ss.budget.BandwidthHz != bw {
 			continue
 		}
+		// Incremental skip: if every input of the row's eval is unchanged
+		// since entrySNR was last computed — channel content stamp, front-end
+		// program counter, UE combining weights — the eval would reproduce
+		// entrySNR bit for bit. Renew the snapshot frame and charge the
+		// counter as if evaluated, so observability is mode-invariant.
+		if incr.Enabled && ss.entryValid &&
+			ss.entryStamp == ss.model.Stamp() &&
+			ss.entryFEVer == ss.mgr.WeightsVersion() &&
+			ss.entryRxHead == rxWeightsHead(ss.model) &&
+			ss.entryRxLen == len(ss.model.RxWeights) {
+			ss.entrySNRFrame = st.frame
+			reused++
+			continue
+		}
 		st.batch.Add(ss.model, w)
 		st.batchIdx = append(st.batchIdx, i)
 	}
+	st.counters.BatchedEntryEvals += reused
 	if fOffs == nil || st.batch.Len() == 0 {
 		return
 	}
@@ -59,6 +91,11 @@ func (st *Station) batchFrameEntry() {
 		re, im := st.batch.Row(r)
 		ss.entrySNR = link.WidebandSNRdBSplitTerms(re, im, ss.txLin, ss.noiseLin)
 		ss.entrySNRFrame = st.frame
+		ss.entryStamp = ss.model.Stamp()
+		ss.entryFEVer = ss.mgr.WeightsVersion()
+		ss.entryRxHead = rxWeightsHead(ss.model)
+		ss.entryRxLen = len(ss.model.RxWeights)
+		ss.entryValid = true
 	}
 	st.counters.BatchedEntryEvals += int64(st.batch.Len())
 	ws.Release(mk)

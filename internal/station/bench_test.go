@@ -44,6 +44,47 @@ func BenchmarkStationSlot(b *testing.B) {
 	b.ReportMetric(1e9/perSlot, "sessionslots/s")
 }
 
+// BenchmarkStationSlotQuiescent is BenchmarkStationSlot with fading
+// disabled: the static, unblocked sessions are then temporally coherent
+// slot to slot, so the incremental frame engine's quiescent fast paths
+// (channel skip, SNR-fold cache, batch-entry row skip) carry the whole
+// frame. Run with MMR_INCREMENTAL=off for the full-recompute cost of the
+// same fixture.
+func BenchmarkStationSlotQuiescent(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.Workers = 1
+	st, err := New(nr.Mu3(), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const ues = 8
+	for i := 0; i < ues; i++ {
+		s := seeds.Mix(41, int64(i))
+		sc := sim.StaticIndoor(s)
+		sc.Fading = nil
+		if _, err := st.Attach(SessionConfig{
+			Scenario: sc,
+			Budget:   sim.IndoorBudget(),
+			Seed:     s,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		st.AdvanceFrame()
+	}
+	slotsPerOp := ues * st.SlotsPerFrame()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.AdvanceFrame()
+	}
+	b.StopTimer()
+	perSlot := float64(b.Elapsed().Nanoseconds()) / float64(b.N*slotsPerOp)
+	b.ReportMetric(perSlot, "ns/sessionslot")
+	b.ReportMetric(1e9/perSlot, "sessionslots/s")
+}
+
 // BenchmarkBatchedSlot measures the frame-barrier planar batch pass alone:
 // gathering every grant-holding session, one WidebandBatch evaluation over
 // the frame's UEs, and the per-session wideband-SNR fold — the batched
