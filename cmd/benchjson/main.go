@@ -54,6 +54,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"mmreliable/internal/core"
 )
 
 // Result is one benchmark's parsed metrics. Custom holds any
@@ -70,7 +72,12 @@ type Result struct {
 func main() {
 	compare := flag.String("compare", "", "old BENCH_results.json to compare against; new results from a positional file or stdin")
 	strict := flag.Bool("strict", false, "with -compare: exit 1 when a regression is flagged")
+	showVersion := flag.Bool("version", false, "print version/build info and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(core.Version("benchjson"))
+		return
+	}
 	if *compare != "" {
 		os.Exit(runCompare(*compare, flag.Arg(0), *strict))
 	}

@@ -26,6 +26,7 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"mmreliable/internal/core"
 	"mmreliable/internal/experiments"
 )
 
@@ -37,7 +38,13 @@ func main() {
 	list := flag.Bool("list", false, "list available figures")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with `go tool pprof`)")
 	memProfile := flag.String("memprofile", "", "write an allocation (heap) profile to this file at exit")
+	showVersion := flag.Bool("version", false, "print version/build info and exit")
 	flag.Parse()
+
+	if *showVersion {
+		fmt.Println(core.Version("mmbench"))
+		return
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)

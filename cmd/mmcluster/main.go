@@ -31,6 +31,7 @@ import (
 	"runtime/pprof"
 
 	"mmreliable/internal/cluster"
+	"mmreliable/internal/core"
 	"mmreliable/internal/env"
 	"mmreliable/internal/events"
 	"mmreliable/internal/nr"
@@ -62,17 +63,21 @@ func main() {
 	perUE := flag.Bool("per-ue", false, "print the per-UE result table")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with `go tool pprof`)")
 	memProfile := flag.String("memprofile", "", "write an allocation (heap) profile to this file at exit")
+	showVersion := flag.Bool("version", false, "print version/build info and exit")
 	flag.Parse()
 
-	switch {
-	case *cells < 1:
-		fmt.Fprintln(os.Stderr, "mmcluster: -cells must be ≥ 1")
-		os.Exit(1)
-	case *ues < 1:
-		fmt.Fprintln(os.Stderr, "mmcluster: -ues must be ≥ 1")
-		os.Exit(1)
-	case *budget < 0:
-		fmt.Fprintln(os.Stderr, "mmcluster: -budget must be ≥ 0")
+	if *showVersion {
+		fmt.Println(core.Version("mmcluster"))
+		return
+	}
+	if err := core.CheckFlags("mmcluster",
+		core.IntAtLeast("cells", *cells, 1),
+		core.IntAtLeast("ues", *ues, 1),
+		core.FloatPositive("duration", *duration),
+		core.IntAtLeast("workers", *workers, 0),
+		core.IntAtLeast("budget", *budget, 0),
+	); err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 

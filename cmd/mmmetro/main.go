@@ -31,6 +31,7 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"mmreliable/internal/core"
 	"mmreliable/internal/metro"
 	"mmreliable/internal/nr"
 )
@@ -50,23 +51,26 @@ func main() {
 	speed := flag.Float64("speed", def.SpeedMPS, "mobile-UE walking speed in m/s (0 = 1.4)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with `go tool pprof`)")
 	memProfile := flag.String("memprofile", "", "write an allocation (heap) profile to this file at exit")
+	showVersion := flag.Bool("version", false, "print version/build info and exit")
 	flag.Parse()
 
-	switch {
-	case *clusters < 1:
-		fmt.Fprintln(os.Stderr, "mmmetro: -clusters must be ≥ 1")
-		os.Exit(1)
-	case *cells < 1:
-		fmt.Fprintln(os.Stderr, "mmmetro: -cells must be ≥ 1")
-		os.Exit(1)
-	case *ues < 1:
-		fmt.Fprintln(os.Stderr, "mmmetro: -ues must be ≥ 1")
-		os.Exit(1)
-	case *churn < 0 || *session <= 0:
-		fmt.Fprintln(os.Stderr, "mmmetro: -churn must be ≥ 0 and -session > 0")
-		os.Exit(1)
-	case *mobile < 0 || *mobile > 1:
-		fmt.Fprintln(os.Stderr, "mmmetro: -mobile must be in [0,1]")
+	if *showVersion {
+		fmt.Println(core.Version("mmmetro"))
+		return
+	}
+	if err := core.CheckFlags("mmmetro",
+		core.IntAtLeast("clusters", *clusters, 1),
+		core.IntAtLeast("cells", *cells, 1),
+		core.IntAtLeast("ues", *ues, 1),
+		core.FloatPositive("duration", *duration),
+		core.IntAtLeast("workers", *workers, 0),
+		core.IntAtLeast("shards", *shards, 0),
+		core.FloatAtLeast("churn", *churn, 0),
+		core.FloatPositive("session", *session),
+		core.FloatInRange("mobile", *mobile, 0, 1),
+		core.FloatAtLeast("speed", *speed, 0),
+	); err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 

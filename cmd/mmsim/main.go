@@ -30,6 +30,7 @@ import (
 
 	"mmreliable/internal/antenna"
 	"mmreliable/internal/baselines"
+	"mmreliable/internal/core"
 	"mmreliable/internal/core/manager"
 	"mmreliable/internal/nr"
 	"mmreliable/internal/sim"
@@ -43,7 +44,13 @@ func main() {
 	duration := flag.Float64("duration", 1.0, "measured duration in seconds")
 	trace := flag.Bool("trace", false, "print a per-slot SNR trace (decimated)")
 	workers := flag.Int("workers", 0, "concurrent scheme replays (0 = GOMAXPROCS); output is identical for any value")
+	showVersion := flag.Bool("version", false, "print version/build info and exit")
 	flag.Parse()
+
+	if *showVersion {
+		fmt.Println(core.Version("mmsim"))
+		return
+	}
 
 	// Validate the scenario name (and fetch the budget) once up front.
 	_, budget, err := sim.Named(*scenario, *seed)

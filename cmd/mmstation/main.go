@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"os"
 
+	"mmreliable/internal/core"
 	"mmreliable/internal/link"
 	"mmreliable/internal/nr"
 	"mmreliable/internal/seeds"
@@ -44,14 +45,22 @@ func main() {
 	maxSessions := flag.Int("max-sessions", station.DefaultConfig().MaxSessions, "admission-control cap on concurrently attached sessions")
 	churn := flag.Bool("churn", false, "mid-run churn: every 4th UE attaches at 0.3×duration, every 5th detaches at 0.7×duration")
 	perUE := flag.Bool("per-ue", false, "print the per-UE result table")
+	showVersion := flag.Bool("version", false, "print version/build info and exit")
 	flag.Parse()
 
-	if *ues < 1 {
-		fmt.Fprintln(os.Stderr, "mmstation: -ues must be ≥ 1")
-		os.Exit(1)
+	if *showVersion {
+		fmt.Println(core.Version("mmstation"))
+		return
 	}
-	if *budget < 0 {
-		fmt.Fprintln(os.Stderr, "mmstation: -budget must be ≥ 0")
+	if err := core.CheckFlags("mmstation",
+		core.IntAtLeast("ues", *ues, 1),
+		core.IntAtLeast("budget", *budget, 0),
+		core.FloatPositive("frame-ms", *frameMS),
+		core.FloatPositive("duration", *duration),
+		core.IntAtLeast("workers", *workers, 0),
+		core.IntAtLeast("max-sessions", *maxSessions, 0),
+	); err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	cfg := station.DefaultConfig()

@@ -14,6 +14,7 @@ import (
 	"math"
 	"os"
 
+	"mmreliable/internal/core"
 	"mmreliable/internal/dsp"
 	"mmreliable/internal/sim"
 )
@@ -22,7 +23,13 @@ func main() {
 	scenario := flag.String("scenario", "indoor", "indoor | indoor-mobile | outdoor | walking-blocker | small-spread | rotating-ue")
 	seed := flag.Int64("seed", 1, "random seed")
 	steps := flag.Int("steps", 5, "time samples across the scenario duration")
+	showVersion := flag.Bool("version", false, "print version/build info and exit")
 	flag.Parse()
+
+	if *showVersion {
+		fmt.Println(core.Version("mmtrace"))
+		return
+	}
 
 	sc, budget, err := sim.Named(*scenario, *seed)
 	if err != nil {

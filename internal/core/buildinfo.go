@@ -1,0 +1,44 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// Version renders one CLI's build identity from the binary's embedded
+// build info: module path, module version, toolchain, and — when the
+// binary was built inside a git checkout — the VCS revision and dirty
+// flag. Every CLI's -version flag prints this line and exits; it is the
+// only output that is allowed to vary between hosts (stdout proper stays
+// byte-identical, see the determinism contract).
+func Version(prog string) string {
+	mod, ver, rev, dirty := "mmreliable", "(devel)", "", false
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if bi.Main.Path != "" {
+			mod = bi.Main.Path
+		}
+		if bi.Main.Version != "" {
+			ver = bi.Main.Version
+		}
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				dirty = s.Value == "true"
+			}
+		}
+	}
+	line := fmt.Sprintf("%s %s %s (%s)", prog, mod, ver, runtime.Version())
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		line += " rev " + rev
+		if dirty {
+			line += "+dirty"
+		}
+	}
+	return line
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"math"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestDigestOrderAndWidthSensitive(t *testing.T) {
+	a := NewDigest()
+	a.Int(1)
+	a.Int(2)
+	b := NewDigest()
+	b.Int(2)
+	b.Int(1)
+	if a.Sum() == b.Sum() {
+		t.Fatalf("digest not order-sensitive: %016x", a.Sum())
+	}
+	// Slice boundaries fold: [1][2] ≠ [1,2].
+	c := NewDigest()
+	c.Floats([]float64{1})
+	c.Floats([]float64{2})
+	d := NewDigest()
+	d.Floats([]float64{1, 2})
+	if c.Sum() == d.Sum() {
+		t.Fatalf("digest not boundary-sensitive: %016x", c.Sum())
+	}
+}
+
+func TestDigestFoldsFloatBits(t *testing.T) {
+	a := NewDigest()
+	a.Float64(math.Inf(1))
+	b := NewDigest()
+	b.Float64(math.MaxFloat64)
+	if a.Sum() == b.Sum() {
+		t.Fatalf("+Inf and MaxFloat64 fold identically")
+	}
+	c := NewDigest()
+	c.Float64(0)
+	d := NewDigest()
+	d.Float64(math.Copysign(0, -1))
+	if c.Sum() == d.Sum() {
+		t.Fatalf("signed zeros fold identically")
+	}
+	// Same inputs, same sum — the whole point.
+	e, f := NewDigest(), NewDigest()
+	for _, v := range []float64{1.5, -3, math.Inf(-1)} {
+		e.Float64(v)
+		f.Float64(v)
+	}
+	if e.Sum() != f.Sum() {
+		t.Fatalf("identical folds disagree: %016x vs %016x", e.Sum(), f.Sum())
+	}
+}
+
+func TestVersionSmoke(t *testing.T) {
+	line := Version("mmtest")
+	if !strings.HasPrefix(line, "mmtest ") {
+		t.Fatalf("missing program name: %q", line)
+	}
+	if !strings.Contains(line, runtime.Version()) {
+		t.Fatalf("missing toolchain version: %q", line)
+	}
+}
+
+func TestCheckFlags(t *testing.T) {
+	cases := []struct {
+		name  string
+		check FlagCheck
+		fail  bool
+		want  string // substring of the error message
+	}{
+		{"clusters ok", IntAtLeast("clusters", 1, 1), false, ""},
+		{"clusters zero", IntAtLeast("clusters", 0, 1), true, "-clusters must be ≥ 1 (got 0)"},
+		{"shards negative", IntAtLeast("shards", -3, 0), true, "-shards must be ≥ 0 (got -3)"},
+		{"workers negative", IntAtLeast("workers", -1, 0), true, "-workers must be ≥ 0 (got -1)"},
+		{"budget ok", IntAtLeast("budget", 0, 0), false, ""},
+		{"duration zero", FloatPositive("duration", 0), true, "-duration must be > 0 (got 0)"},
+		{"duration nan", FloatPositive("duration", math.NaN()), true, "-duration must be > 0"},
+		{"churn ok", FloatAtLeast("churn", 0, 0), false, ""},
+		{"churn negative", FloatAtLeast("churn", -0.5, 0), true, "-churn must be ≥ 0 (got -0.5)"},
+		{"mobile high", FloatInRange("mobile", 1.5, 0, 1), true, "-mobile must be in [0, 1] (got 1.5)"},
+		{"mobile ok", FloatInRange("mobile", 1, 0, 1), false, ""},
+		{"seed ok", Int64AtLeast("seed", -5, math.MinInt64), false, ""},
+	}
+	for _, tc := range cases {
+		err := CheckFlags("prog", tc.check)
+		if tc.fail && err == nil {
+			t.Errorf("%s: expected failure, got nil", tc.name)
+		}
+		if !tc.fail && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+		if tc.fail && err != nil {
+			if !strings.HasPrefix(err.Error(), "prog: ") {
+				t.Errorf("%s: missing prog prefix: %v", tc.name, err)
+			}
+			if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("%s: message %q missing %q", tc.name, err, tc.want)
+			}
+		}
+	}
+	// First failure wins.
+	err := CheckFlags("p", IntAtLeast("a", 0, 1), IntAtLeast("b", 0, 1))
+	if err == nil || !strings.Contains(err.Error(), "-a ") {
+		t.Fatalf("first failing check should win: %v", err)
+	}
+}

@@ -1,0 +1,20 @@
+package track
+
+import "mmreliable/internal/core"
+
+// Digest folds the tracker's semantic state — per-beam anchors, EWMA
+// values, smoothed history windows, and blocked flags — into d, in beam
+// order. Part of the service layer's restore-verification chain: two
+// trackers that fold equal continue identically.
+func (tr *Tracker) Digest(d *core.Digest) {
+	d.Int(len(tr.bs))
+	for i := range tr.bs {
+		b := &tr.bs[i]
+		d.Float64(b.anchorDB)
+		d.Float64(b.ewma.Value())
+		d.Bool(b.ewma.Started())
+		d.Floats(b.times)
+		d.Floats(b.powers)
+		d.Bool(b.blocked)
+	}
+}

@@ -1,0 +1,115 @@
+package link
+
+import (
+	"fmt"
+	"math"
+
+	"mmreliable/internal/core"
+)
+
+// MeterState is the exact, serializable image of a Meter — the service
+// layer's snapshot unit for per-link reliability state. Floating-point
+// accumulators are stored as IEEE-754 bit patterns (uint64), so a
+// JSON round trip reproduces every field bit for bit, including the +Inf
+// that minSNR starts at. The episode ring is normalized to onset order
+// (oldest first, RunsBits[0] = oldest retained episode), which a restored
+// meter adopts with ring start 0 — observably identical to the original
+// (OutageDurations walks in onset order; recordRun overwrites the oldest).
+type MeterState struct {
+	Slots       int      `json:"slots"`
+	Available   int      `json:"available"`
+	ThrSumBits  uint64   `json:"thr_sum_bits"`
+	SNRSumBits  uint64   `json:"snr_sum_bits"`
+	MinSNRBits  uint64   `json:"min_snr_bits"`
+	OutageRuns  int      `json:"outage_runs"`
+	InOutage    bool     `json:"in_outage"`
+	CurRun      int      `json:"cur_run"`
+	TotalOutage int      `json:"total_outage"`
+	MaxRun      int      `json:"max_run"`
+	RunsBits    []uint64 `json:"runs_bits,omitempty"`
+	RunsDropped int      `json:"runs_dropped"`
+	LeadRun     int      `json:"lead_run"`
+}
+
+// Snapshot captures the meter's exact state. Safe between frames.
+func (m *Meter) Snapshot() MeterState {
+	s := MeterState{
+		Slots:       m.slots,
+		Available:   m.available,
+		ThrSumBits:  math.Float64bits(m.thrSum),
+		SNRSumBits:  math.Float64bits(m.snrSum),
+		MinSNRBits:  math.Float64bits(m.minSNR),
+		OutageRuns:  m.outageRuns,
+		InOutage:    m.inOutage,
+		CurRun:      m.curRun,
+		TotalOutage: m.totalOutage,
+		MaxRun:      m.maxRun,
+		RunsDropped: m.runsDropped,
+		LeadRun:     m.leadRun,
+	}
+	if len(m.runs) > 0 {
+		s.RunsBits = make([]uint64, 0, len(m.runs))
+		for _, part := range [2][]float64{m.runs[m.runsStart:], m.runs[:m.runsStart]} {
+			for _, r := range part {
+				s.RunsBits = append(s.RunsBits, math.Float64bits(r))
+			}
+		}
+	}
+	return s
+}
+
+// Restore materializes a meter that continues exactly where the
+// snapshotted one left off: every subsequent Record / Merge / accessor
+// behaves as on the original.
+func (s MeterState) Restore() (*Meter, error) {
+	if s.Slots < 0 || s.Available < 0 || s.Available > s.Slots ||
+		s.TotalOutage < 0 || s.TotalOutage > s.Slots ||
+		s.CurRun < 0 || s.CurRun > s.TotalOutage ||
+		s.RunsDropped < 0 || len(s.RunsBits) > maxOutageRuns {
+		return nil, fmt.Errorf("link: inconsistent meter state (slots %d, available %d, outage %d, ring %d)",
+			s.Slots, s.Available, s.TotalOutage, len(s.RunsBits))
+	}
+	m := &Meter{
+		slots:       s.Slots,
+		available:   s.Available,
+		thrSum:      math.Float64frombits(s.ThrSumBits),
+		snrSum:      math.Float64frombits(s.SNRSumBits),
+		minSNR:      math.Float64frombits(s.MinSNRBits),
+		outageRuns:  s.OutageRuns,
+		inOutage:    s.InOutage,
+		curRun:      s.CurRun,
+		totalOutage: s.TotalOutage,
+		maxRun:      s.MaxRun,
+		runsDropped: s.RunsDropped,
+		leadRun:     s.LeadRun,
+	}
+	if len(s.RunsBits) > 0 {
+		m.runs = make([]float64, 0, maxOutageRuns)
+		for _, bits := range s.RunsBits {
+			m.runs = append(m.runs, math.Float64frombits(bits))
+		}
+	}
+	return m, nil
+}
+
+// Digest folds the meter's exact state (ring in onset order) into d.
+func (m *Meter) Digest(d *core.Digest) {
+	d.Int(m.slots)
+	d.Int(m.available)
+	d.Float64(m.thrSum)
+	d.Float64(m.snrSum)
+	d.Float64(m.minSNR)
+	d.Int(m.outageRuns)
+	d.Bool(m.inOutage)
+	d.Int(m.curRun)
+	d.Int(m.totalOutage)
+	d.Int(m.maxRun)
+	d.Int(len(m.runs))
+	for _, part := range [2][]float64{m.runs[m.runsStart:], m.runs[:m.runsStart]} {
+		for _, r := range part {
+			d.Float64(r)
+		}
+	}
+	d.Int(m.runsDropped)
+	d.Int(m.leadRun)
+}

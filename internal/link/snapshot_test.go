@@ -1,0 +1,191 @@
+package link
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"mmreliable/internal/core"
+)
+
+// slotOutcome is one recorded slot for the property tests.
+type slotOutcome struct {
+	snrDB    float64
+	training bool
+	thr      float64
+}
+
+// randomHistory draws a random episode history: alternating outage and
+// available runs with random lengths, SNRs straddling the threshold, and
+// occasional training slots and −Inf SNRs. episodes controls how many
+// outage episodes appear — above maxOutageRuns the ring overflows.
+func randomHistory(rng *rand.Rand, episodes int) []slotOutcome {
+	var h []slotOutcome
+	if rng.Intn(2) == 0 {
+		// Open with available slots so leadRun isn't always exercised.
+		for i, n := 0, 1+rng.Intn(4); i < n; i++ {
+			h = append(h, slotOutcome{snrDB: OutageThresholdDB + rng.Float64()*20, thr: rng.Float64() * 1e9})
+		}
+	}
+	for e := 0; e < episodes; e++ {
+		for i, n := 0, 1+rng.Intn(6); i < n; i++ {
+			s := slotOutcome{snrDB: OutageThresholdDB - 1 - rng.Float64()*30}
+			switch rng.Intn(8) {
+			case 0:
+				s.training = true // training outage, SNR may be fine
+				s.snrDB = OutageThresholdDB + rng.Float64()*10
+			case 1:
+				s.snrDB = math.Inf(-1)
+			}
+			h = append(h, s)
+		}
+		for i, n := 0, 1+rng.Intn(5); i < n; i++ {
+			h = append(h, slotOutcome{snrDB: OutageThresholdDB + rng.Float64()*20, thr: rng.Float64() * 1e9})
+		}
+	}
+	if rng.Intn(2) == 0 {
+		// End inside an outage so the snapshot point can sit mid-episode.
+		for i, n := 0, 1+rng.Intn(4); i < n; i++ {
+			h = append(h, slotOutcome{snrDB: OutageThresholdDB - 5})
+		}
+	}
+	return h
+}
+
+func feedHistory(m *Meter, h []slotOutcome) {
+	for _, s := range h {
+		m.Record(s.snrDB, s.training, s.thr)
+	}
+}
+
+func digestOf(t *testing.T, m *Meter) uint64 {
+	t.Helper()
+	d := core.NewDigest()
+	m.Digest(d)
+	return d.Sum()
+}
+
+// requireEqual compares two meters exhaustively: digest (every internal
+// field, ring in onset order) plus the public accessors.
+func requireEqual(t *testing.T, got, want *Meter, label string) {
+	t.Helper()
+	if dg, dw := digestOf(t, got), digestOf(t, want); dg != dw {
+		t.Fatalf("%s: digest %016x != %016x\ngot  %+v\nwant %+v", label, dg, dw,
+			got.Summarize(), want.Summarize())
+	}
+	if !reflect.DeepEqual(got.Summarize(), want.Summarize()) {
+		t.Fatalf("%s: summaries differ\ngot  %+v\nwant %+v", label, got.Summarize(), want.Summarize())
+	}
+	gd := got.OutageDurations(nil)
+	wd := want.OutageDurations(nil)
+	if !reflect.DeepEqual(gd, wd) {
+		t.Fatalf("%s: outage durations differ (%d vs %d entries)", label, len(gd), len(wd))
+	}
+	if got.DroppedOutageRuns() != want.DroppedOutageRuns() {
+		t.Fatalf("%s: dropped runs %d != %d", label, got.DroppedOutageRuns(), want.DroppedOutageRuns())
+	}
+}
+
+// roundTrip serializes a snapshot through JSON and restores it — the same
+// path a service snapshot file takes.
+func roundTrip(t *testing.T, m *Meter) *Meter {
+	t.Helper()
+	blob, err := json.Marshal(m.Snapshot())
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var state MeterState
+	if err := json.Unmarshal(blob, &state); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	restored, err := state.Restore()
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	return restored
+}
+
+// TestMeterSnapshotRestoreProperty is the satellite's property test: over
+// random episode histories — including ring overflow past maxOutageRuns —
+// cutting the stream at a random point, snapshotting through JSON, and
+// continuing must be indistinguishable from never having been
+// interrupted, both by sequential Record and by Merge.
+func TestMeterSnapshotRestoreProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 60; trial++ {
+		episodes := 1 + rng.Intn(20)
+		if trial%6 == 0 {
+			episodes = maxOutageRuns + 50 + rng.Intn(200) // ring overflow
+		}
+		h := randomHistory(rng, episodes)
+		cut := rng.Intn(len(h) + 1)
+
+		uninterrupted := NewMeter()
+		feedHistory(uninterrupted, h)
+
+		// Sequential continuation: restore then Record the tail. Exactly
+		// equal — same operations in the same order.
+		first := NewMeter()
+		feedHistory(first, h[:cut])
+		restored := roundTrip(t, first)
+		feedHistory(restored, h[cut:])
+		requireEqual(t, restored, uninterrupted, "sequential")
+
+		// Merge continuation: restore, then fold a separately-metered tail.
+		// Compared against the identical uninterrupted merge (first half
+		// never serialized), so float-sum bracketing matches exactly.
+		tail := NewMeter()
+		feedHistory(tail, h[cut:])
+		mergedDirect := NewMeter()
+		feedHistory(mergedDirect, h[:cut])
+		mergedDirect.Merge(tail)
+		mergedRestored := roundTrip(t, first)
+		mergedRestored.Merge(tail)
+		requireEqual(t, mergedRestored, mergedDirect, "merge")
+
+		// And against the sequential meter on everything Merge keeps exact.
+		if mergedRestored.Slots() != uninterrupted.Slots() ||
+			mergedRestored.OutageEvents() != uninterrupted.OutageEvents() ||
+			mergedRestored.OutageSlots() != uninterrupted.OutageSlots() ||
+			mergedRestored.MaxOutageSlots() != uninterrupted.MaxOutageSlots() ||
+			mergedRestored.DroppedOutageRuns() != uninterrupted.DroppedOutageRuns() {
+			t.Fatalf("trial %d: merged integers diverge from sequential", trial)
+		}
+		if !reflect.DeepEqual(mergedRestored.OutageDurations(nil), uninterrupted.OutageDurations(nil)) {
+			t.Fatalf("trial %d: merged durations diverge from sequential", trial)
+		}
+	}
+}
+
+// TestMeterSnapshotEmptyAndFresh pins the edge cases: a fresh meter (with
+// its +Inf minSNR) and a never-restored zero state round-trip exactly.
+func TestMeterSnapshotEmptyAndFresh(t *testing.T) {
+	fresh := NewMeter()
+	restored := roundTrip(t, fresh)
+	if restored.MinSNRdB() != math.Inf(1) {
+		t.Fatalf("fresh minSNR lost: %v", restored.MinSNRdB())
+	}
+	requireEqual(t, restored, fresh, "fresh")
+	restored.Record(OutageThresholdDB+1, false, 1e9)
+	fresh.Record(OutageThresholdDB+1, false, 1e9)
+	requireEqual(t, restored, fresh, "fresh+record")
+}
+
+// TestMeterRestoreRejectsGarbage pins that inconsistent states fail
+// loudly instead of resurrecting impossible meters.
+func TestMeterRestoreRejectsGarbage(t *testing.T) {
+	bad := []MeterState{
+		{Slots: -1},
+		{Slots: 2, Available: 3},
+		{Slots: 2, TotalOutage: 3},
+		{Slots: 5, TotalOutage: 2, CurRun: 3},
+		{RunsBits: make([]uint64, maxOutageRuns+1)},
+	}
+	for i, s := range bad {
+		if _, err := s.Restore(); err == nil {
+			t.Errorf("state %d: expected error, got nil", i)
+		}
+	}
+}

@@ -117,8 +117,12 @@ func DefaultConfig() Config {
 
 // site is one cluster instance plus its private churn stream.
 type site struct {
-	cl          *cluster.Cluster
-	rng         *rand.Rand
+	cl  *cluster.Cluster
+	rng *rand.Rand
+	// crs is rng's counting source: the churn stream's consumed-draw
+	// counter, which snapshots record and restores verify (the pair
+	// (seed, draws) fully describes the stream position; see seeds).
+	crs         *seeds.CountingSource
 	nextArrival float64
 	// harvestFn folds finished UEs into the owning shard's sketch; prebound
 	// so the steady-state frame loop stays off the allocator.
@@ -211,10 +215,10 @@ func New(num nr.Numerology, cfg Config) (*Metro, error) {
 		if err != nil {
 			return nil, fmt.Errorf("metro: site %d: %w", si, err)
 		}
-		s := &site{
-			cl:  cl,
-			rng: rand.New(rand.NewSource(seeds.Mix(cfg.Seed, labelMetroChurn, int64(si)))),
-		}
+		s := &site{cl: cl}
+		// Counting wrapper around the same stream the plain construction
+		// drew: values are identical, positions become serializable.
+		s.rng, s.crs = seeds.NewCountingRand(seeds.Mix(cfg.Seed, labelMetroChurn, int64(si)))
 		sk := &m.sketches[m.shardOf(si)]
 		s.harvestFn = sk.AddUE
 		if cfg.ChurnArrivalRate > 0 {
@@ -382,9 +386,11 @@ func (m *Metro) stepSite(s *site) {
 		}
 	}
 	s.cl.AdvanceFrame()
-	if m.cfg.ChurnArrivalRate > 0 {
-		s.cl.HarvestFinished(s.harvestFn)
-	}
+	// Harvest unconditionally: churned sessions AND live-injected detaches
+	// (serve layer) stream out. With churn off and no injections nothing is
+	// ever done, so the sweep finds nothing and the sketches stay empty —
+	// pre-serve outputs are unchanged.
+	s.cl.HarvestFinished(s.harvestFn)
 }
 
 // Run advances whole frames until the metro clock reaches duration

@@ -1,0 +1,209 @@
+package metro
+
+import (
+	"fmt"
+
+	"mmreliable/internal/cluster"
+	"mmreliable/internal/core"
+	"mmreliable/internal/station"
+)
+
+// This file is the metro's service-layer surface: live UE attach/detach,
+// blockage injection, knob hot-reload, O(sites) telemetry reads, and the
+// state digest + RNG-position accessors the daemon's snapshot machinery
+// uses. Everything here must only be called between frames, from the
+// goroutine that calls AdvanceFrame.
+
+// AttachSpec describes a live UE attach. Zero-value fields pick
+// deterministic defaults: position from the hall lattice (keyed on the
+// site's resident count), session length from the site's churn stream when
+// churn is on (never-ending otherwise).
+type AttachSpec struct {
+	// X, Y place the UE when HasPos is set; otherwise a lattice point is
+	// chosen deterministically.
+	X      float64 `json:"x,omitempty"`
+	Y      float64 `json:"y,omitempty"`
+	HasPos bool    `json:"has_pos,omitempty"`
+	// DurationS, when positive, detaches the UE that many seconds after
+	// attach.
+	DurationS float64 `json:"duration_s,omitempty"`
+}
+
+// InjectAttach adds a UE to the given site at the current frame boundary
+// (admitted when the next frame runs). Mobility follows the site's
+// MobileFraction draw, exactly like a churn arrival. Returns the UE id.
+func (m *Metro) InjectAttach(siteIdx int, spec AttachSpec) (int, error) {
+	if siteIdx < 0 || siteIdx >= len(m.sites) {
+		return 0, fmt.Errorf("metro: site %d outside [0,%d)", siteIdx, len(m.sites))
+	}
+	if spec.DurationS < 0 {
+		return 0, fmt.Errorf("metro: negative attach duration %g", spec.DurationS)
+	}
+	s := m.sites[siteIdx]
+	pos := m.positions[s.cl.ResidentUEs()%len(m.positions)]
+	if spec.HasPos {
+		pos.X, pos.Y = spec.X, spec.Y
+	}
+	uc := m.newUEConfig(s, pos)
+	now := s.cl.Now()
+	uc.AttachAt = now
+	switch {
+	case spec.DurationS > 0:
+		uc.DetachAt = now + spec.DurationS
+	case m.cfg.ChurnArrivalRate > 0:
+		uc.DetachAt = now + m.sessionLen(s)
+	}
+	return s.cl.AddUE(uc)
+}
+
+// InjectDetach schedules the UE's departure at this frame boundary.
+func (m *Metro) InjectDetach(siteIdx, ueID int) error {
+	if siteIdx < 0 || siteIdx >= len(m.sites) {
+		return fmt.Errorf("metro: site %d outside [0,%d)", siteIdx, len(m.sites))
+	}
+	return m.sites[siteIdx].cl.DetachUE(ueID)
+}
+
+// InjectBlockage schedules a live blockage on the (site, ue, cell) link
+// from the current frame boundary; cell −1 targets the UE's serving cell.
+// Returns the resolved cell index.
+func (m *Metro) InjectBlockage(siteIdx, ueID, cell int, depthDB, durationS float64) (int, error) {
+	if siteIdx < 0 || siteIdx >= len(m.sites) {
+		return 0, fmt.Errorf("metro: site %d outside [0,%d)", siteIdx, len(m.sites))
+	}
+	return m.sites[siteIdx].cl.InjectBlockage(ueID, cell, depthDB, durationS)
+}
+
+// ApplyTuning hot-reloads the knob set on every site at this frame
+// boundary. Validation is atomic across the city.
+func (m *Metro) ApplyTuning(t cluster.Tuning) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	for _, s := range m.sites {
+		if err := s.cl.ApplyTuning(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ActiveSessions returns the total attached station sessions across the
+// city — O(cells).
+func (m *Metro) ActiveSessions() int {
+	n := 0
+	for _, s := range m.sites {
+		n += s.cl.ActiveSessions()
+	}
+	return n
+}
+
+// CountersTotal sums every site's cluster counters — O(sites).
+func (m *Metro) CountersTotal() cluster.Counters {
+	var total cluster.Counters
+	for _, s := range m.sites {
+		addCounters(&total, s.cl.CountersSnapshot())
+	}
+	return total
+}
+
+// StationCountersTotal sums every cell's station counters — O(cells).
+func (m *Metro) StationCountersTotal() station.Counters {
+	var total station.Counters
+	for _, s := range m.sites {
+		for c := 0; c < s.cl.Cells(); c++ {
+			sc := s.cl.CellCounters(c)
+			total.Frames += sc.Frames
+			total.SessionSlots += sc.SessionSlots
+			total.ProbesIssued += sc.ProbesIssued
+			total.Grants += sc.Grants
+			total.BudgetDenials += sc.BudgetDenials
+			total.Preemptions += sc.Preemptions
+			total.Realigns += sc.Realigns
+			total.Retrains += sc.Retrains
+			total.TrainingSlots += sc.TrainingSlots
+			total.BatchedEntryEvals += sc.BatchedEntryEvals
+			total.AttachesAdmitted += sc.AttachesAdmitted
+			total.AttachesRejected += sc.AttachesRejected
+			total.Detaches += sc.Detaches
+		}
+	}
+	return total
+}
+
+// SketchTotal merges the per-shard sketches of already-harvested UEs in
+// shard-index order — O(shards), no per-UE walk (resident UEs are NOT
+// folded in, unlike Results; telemetry reads must stay O(sites)).
+func (m *Metro) SketchTotal() Sketch {
+	var total Sketch
+	for s := range m.sketches {
+		total.Merge(&m.sketches[s])
+	}
+	return total
+}
+
+// SiteDraws returns every site's churn-stream consumed-draw count, in site
+// order — the RNG stream positions a snapshot records.
+func (m *Metro) SiteDraws() []uint64 {
+	out := make([]uint64, len(m.sites))
+	for i, s := range m.sites {
+		out[i] = s.crs.Draws()
+	}
+	return out
+}
+
+// SiteNextArrivals returns every site's next churn-arrival time, in site
+// order — the arrival-process state a snapshot records.
+func (m *Metro) SiteNextArrivals() []float64 {
+	out := make([]float64, len(m.sites))
+	for i, s := range m.sites {
+		out[i] = s.nextArrival
+	}
+	return out
+}
+
+// Digest folds the city's semantic state into d: shape, frame clock, every
+// site's cluster state (in site order) plus its churn-stream position and
+// arrival state, and the per-shard sketches. Identical at any worker
+// count; the daemon's snapshot/restore verification hinges on it.
+func (m *Metro) Digest(d *core.Digest) {
+	d.Int64(m.cfg.Seed)
+	d.Int(len(m.sites))
+	d.Int(m.cfg.CellsPerCluster)
+	d.Int(m.Shards())
+	d.Int(m.frame)
+	for _, s := range m.sites {
+		s.cl.Digest(d)
+		d.Uint64(s.crs.Draws())
+		d.Float64(s.nextArrival)
+	}
+	for i := range m.sketches {
+		m.sketches[i].Digest(d)
+	}
+}
+
+// DigestSum is the one-call form of Digest.
+func (m *Metro) DigestSum() uint64 {
+	d := core.NewDigest()
+	m.Digest(d)
+	return d.Sum()
+}
+
+// Digest folds the sketch's aggregate state into d.
+func (s *Sketch) Digest(d *core.Digest) {
+	d.Int(s.UEs)
+	d.Int(s.Measured)
+	for _, n := range s.RelHist {
+		d.Int(n)
+	}
+	d.Int(s.Handovers)
+	d.Int(s.PingPongs)
+	d.Float64(s.WorstOutageMs)
+	d.Float64(s.DivWorstOutageMs)
+	if s.serving != nil {
+		s.serving.Digest(d)
+		s.diversity.Digest(d)
+	} else {
+		d.Int(-1)
+	}
+}

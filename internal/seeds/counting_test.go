@@ -1,0 +1,81 @@
+package seeds
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestCountingRandMatchesPlain pins that wrapping adds counting without
+// perturbing the stream: a counting rand draws the same values as the
+// plain construction used before the service layer existed — existing
+// seeds stay reproducible.
+func TestCountingRandMatchesPlain(t *testing.T) {
+	plain := rand.New(rand.NewSource(42))
+	counted, cs := NewCountingRand(42)
+	for i := 0; i < 200; i++ {
+		switch i % 3 {
+		case 0:
+			if a, b := plain.ExpFloat64(), counted.ExpFloat64(); a != b {
+				t.Fatalf("draw %d: ExpFloat64 %v != %v", i, b, a)
+			}
+		case 1:
+			if a, b := plain.Intn(17), counted.Intn(17); a != b {
+				t.Fatalf("draw %d: Intn %v != %v", i, b, a)
+			}
+		default:
+			if a, b := plain.Float64(), counted.Float64(); a != b {
+				t.Fatalf("draw %d: Float64 %v != %v", i, b, a)
+			}
+		}
+	}
+	if cs.Draws() == 0 {
+		t.Fatal("no draws counted")
+	}
+}
+
+// TestCountingSkipResumes pins the snapshot/restore property: a fresh
+// source skipped by Draws() continues the original stream exactly, even
+// when the original mixed Int63- and Uint64-consuming calls.
+func TestCountingSkipResumes(t *testing.T) {
+	orig, ocs := NewCountingRand(7)
+	for i := 0; i < 123; i++ {
+		switch i % 4 {
+		case 0:
+			orig.ExpFloat64()
+		case 1:
+			orig.Intn(9) // may consume multiple draws internally
+		case 2:
+			orig.Float64()
+		default:
+			orig.Uint64()
+		}
+	}
+	resumed, rcs := NewCountingRand(7)
+	rcs.Skip(ocs.Draws())
+	if rcs.Draws() != ocs.Draws() {
+		t.Fatalf("Skip did not mirror draw count: %d vs %d", rcs.Draws(), ocs.Draws())
+	}
+	for i := 0; i < 64; i++ {
+		if a, b := orig.ExpFloat64(), resumed.ExpFloat64(); a != b {
+			t.Fatalf("post-skip draw %d diverged: %v != %v", i, b, a)
+		}
+	}
+}
+
+// TestCountingSeedResets pins that reseeding zeroes the counter.
+func TestCountingSeedResets(t *testing.T) {
+	cs := NewCountingSource(1)
+	cs.Uint64()
+	cs.Int63()
+	if cs.Draws() != 2 {
+		t.Fatalf("draws = %d, want 2", cs.Draws())
+	}
+	cs.Seed(1)
+	if cs.Draws() != 0 {
+		t.Fatalf("draws after Seed = %d, want 0", cs.Draws())
+	}
+	want := NewCountingSource(1).Uint64()
+	if got := cs.Uint64(); got != want {
+		t.Fatalf("reseeded stream diverged: %d != %d", got, want)
+	}
+}

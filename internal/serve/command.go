@@ -1,0 +1,125 @@
+package serve
+
+import (
+	"fmt"
+
+	"mmreliable/internal/cluster"
+	"mmreliable/internal/metro"
+)
+
+// Command ops.
+const (
+	OpAttach   = "attach"   // add a UE to a site
+	OpDetach   = "detach"   // schedule a UE's departure
+	OpBlockage = "blockage" // inject a blockage event on a (site, ue, cell) link
+	OpTune     = "tune"     // hot-reload scheduler / handover knobs
+)
+
+// Command is one journalable control-plane operation. Frame is the
+// boundary it applies at: assigned by the loop for injected commands,
+// author-chosen for scripted ones. The journal of applied Commands is the
+// snapshot's event log — replaying it at the recorded frames reproduces
+// the daemon's state bit for bit.
+type Command struct {
+	Frame int    `json:"frame"`
+	Op    string `json:"op"`
+	Site  int    `json:"site"`
+	// UE targets detach/blockage.
+	UE int `json:"ue,omitempty"`
+	// Cell targets blockage (nil = the UE's serving cell at apply time).
+	Cell *int `json:"cell,omitempty"`
+	// DepthDB / DurationS parameterize blockage.
+	DepthDB   float64 `json:"depth_db,omitempty"`
+	DurationS float64 `json:"duration_s,omitempty"`
+	// Attach parameterizes attach.
+	Attach *metro.AttachSpec `json:"attach,omitempty"`
+	// Tune parameterizes tune.
+	Tune *cluster.Tuning `json:"tune,omitempty"`
+}
+
+// validate checks the command's shape (not its runtime applicability —
+// an unknown UE id, say, is only discoverable at apply time).
+func (c Command) validate() error {
+	switch c.Op {
+	case OpAttach, OpDetach, OpBlockage:
+		return nil
+	case OpTune:
+		if c.Tune == nil {
+			return fmt.Errorf("tune command without tuning payload")
+		}
+		return c.Tune.Validate()
+	default:
+		return fmt.Errorf("unknown op %q", c.Op)
+	}
+}
+
+// InjectResult reports where and on what a command landed.
+type InjectResult struct {
+	// Frame is the boundary the command applied at.
+	Frame int `json:"frame"`
+	// Op echoes the command.
+	Op string `json:"op"`
+	// UE is the targeted UE — for attach, the newly assigned id.
+	UE int `json:"ue"`
+	// Cell is the resolved blockage target cell (−1 when not applicable).
+	Cell int `json:"cell"`
+}
+
+// DemoScript returns the built-in deterministic event script behind the
+// mmserved -demo-script flag (and the CI kill-and-restore diff): a live
+// attach, a deep blockage on a resident UE, a scheduler hot-reload, and a
+// detach — one of each journalable op, at fixed frame boundaries.
+func DemoScript() []Command {
+	budget := 3
+	return []Command{
+		{Frame: 2, Op: OpAttach, Site: 1, DurationS: 2.0},
+		{Frame: 5, Op: OpBlockage, Site: 0, UE: 0, DepthDB: 25, DurationS: 0.05},
+		{Frame: 7, Op: OpTune, Tune: &cluster.Tuning{ProbeBudget: &budget}},
+		{Frame: 9, Op: OpDetach, Site: 0, UE: 0},
+	}
+}
+
+// applyCommand executes one command against the quiescent metro. Errors
+// leave the simulation untouched (and the command un-journaled).
+func (s *Server) applyCommand(c Command) (InjectResult, error) {
+	res := InjectResult{Frame: c.Frame, Op: c.Op, UE: c.UE, Cell: -1}
+	switch c.Op {
+	case OpAttach:
+		var spec metro.AttachSpec
+		if c.Attach != nil {
+			spec = *c.Attach
+		}
+		if spec.DurationS == 0 && c.DurationS > 0 {
+			spec.DurationS = c.DurationS
+		}
+		id, err := s.m.InjectAttach(c.Site, spec)
+		if err != nil {
+			return res, err
+		}
+		res.UE = id
+	case OpDetach:
+		if err := s.m.InjectDetach(c.Site, c.UE); err != nil {
+			return res, err
+		}
+	case OpBlockage:
+		cell := -1
+		if c.Cell != nil {
+			cell = *c.Cell
+		}
+		resolved, err := s.m.InjectBlockage(c.Site, c.UE, cell, c.DepthDB, c.DurationS)
+		if err != nil {
+			return res, err
+		}
+		res.Cell = resolved
+	case OpTune:
+		if c.Tune == nil {
+			return res, fmt.Errorf("serve: tune command without tuning payload")
+		}
+		if err := s.m.ApplyTuning(*c.Tune); err != nil {
+			return res, err
+		}
+	default:
+		return res, fmt.Errorf("serve: unknown op %q", c.Op)
+	}
+	return res, nil
+}

@@ -1,0 +1,164 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"mmreliable/internal/cluster"
+	"mmreliable/internal/metro"
+)
+
+// Handler returns the control-plane mux. Handlers never touch simulation
+// state directly: every request round-trips through the frame-boundary
+// queue, so attaching the control plane adds nothing to the frame loop
+// until a request actually arrives.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /status", s.handleStatus)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("POST /ue/attach", s.handleAttach)
+	mux.HandleFunc("POST /ue/detach", s.handleDetach)
+	mux.HandleFunc("POST /event/blockage", s.handleBlockage)
+	mux.HandleFunc("POST /config", s.handleConfig)
+	mux.HandleFunc("POST /snapshot", s.handleSnapshot)
+	return mux
+}
+
+// httpError maps control-plane failures: loop gone → 503, everything else
+// (validation, unknown targets) → 400.
+func httpError(w http.ResponseWriter, err error) {
+	code := http.StatusBadRequest
+	if errors.Is(err, ErrStopped) {
+		code = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// decodeBody strictly decodes the request body into v (unknown fields are
+// rejected — a typoed knob must not silently no-op).
+func decodeBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	return nil
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Status()
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSON(w, st)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	txt, err := s.MetricsText()
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprint(w, txt)
+}
+
+func (s *Server) handleAttach(w http.ResponseWriter, r *http.Request) {
+	var body struct {
+		Site      int      `json:"site"`
+		X         *float64 `json:"x"`
+		Y         *float64 `json:"y"`
+		DurationS float64  `json:"duration_s"`
+	}
+	if err := decodeBody(r, &body); err != nil {
+		httpError(w, err)
+		return
+	}
+	spec := metro.AttachSpec{DurationS: body.DurationS}
+	if body.X != nil && body.Y != nil {
+		spec.HasPos, spec.X, spec.Y = true, *body.X, *body.Y
+	} else if body.X != nil || body.Y != nil {
+		httpError(w, fmt.Errorf("x and y must be given together"))
+		return
+	}
+	res, err := s.Inject(Command{Op: OpAttach, Site: body.Site, Attach: &spec})
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSON(w, res)
+}
+
+func (s *Server) handleDetach(w http.ResponseWriter, r *http.Request) {
+	var body struct {
+		Site int `json:"site"`
+		UE   int `json:"ue"`
+	}
+	if err := decodeBody(r, &body); err != nil {
+		httpError(w, err)
+		return
+	}
+	res, err := s.Inject(Command{Op: OpDetach, Site: body.Site, UE: body.UE})
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSON(w, res)
+}
+
+func (s *Server) handleBlockage(w http.ResponseWriter, r *http.Request) {
+	var body struct {
+		Site      int     `json:"site"`
+		UE        int     `json:"ue"`
+		Cell      *int    `json:"cell"`
+		DepthDB   float64 `json:"depth_db"`
+		DurationS float64 `json:"duration_s"`
+	}
+	if err := decodeBody(r, &body); err != nil {
+		httpError(w, err)
+		return
+	}
+	res, err := s.Inject(Command{
+		Op: OpBlockage, Site: body.Site, UE: body.UE, Cell: body.Cell,
+		DepthDB: body.DepthDB, DurationS: body.DurationS,
+	})
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSON(w, res)
+}
+
+func (s *Server) handleConfig(w http.ResponseWriter, r *http.Request) {
+	var t cluster.Tuning
+	if err := decodeBody(r, &t); err != nil {
+		httpError(w, err)
+		return
+	}
+	res, err := s.Inject(Command{Op: OpTune, Tune: &t})
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSON(w, res)
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	blob, err := s.SnapshotJSON()
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(blob)
+}
