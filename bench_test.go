@@ -10,6 +10,7 @@ package mmreliable_test
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"os"
 	"sync"
@@ -25,6 +26,7 @@ import (
 	"mmreliable/internal/dsp"
 	"mmreliable/internal/env"
 	"mmreliable/internal/experiments"
+	"mmreliable/internal/hybrid"
 	"mmreliable/internal/link"
 	"mmreliable/internal/metro"
 	"mmreliable/internal/nr"
@@ -97,6 +99,7 @@ func BenchmarkExtensionMultiUser(b *testing.B)   { runFigure(b, "e4") }
 func BenchmarkExtensionStation(b *testing.B)     { runFigure(b, "e5") }
 func BenchmarkExtensionCluster(b *testing.B)     { runFigure(b, "e6") }
 func BenchmarkExtensionMetro(b *testing.B)       { runFigure(b, "e7") }
+func BenchmarkExtensionHybrid(b *testing.B)      { runFigure(b, "e8") }
 
 // Micro-benchmarks for the hot per-slot/per-probe paths, to show the
 // reproduction's algorithmic costs (the paper reports its super-resolution
@@ -442,6 +445,90 @@ func BenchmarkStationSlotQuiescent(b *testing.B) {
 	perSlot := float64(b.Elapsed().Nanoseconds()) / float64(b.N*slotsPerOp)
 	b.ReportMetric(perSlot, "ns/sessionslot")
 	b.ReportMetric(1e9/perSlot, "sessionslots/s")
+}
+
+// BenchmarkHybridSlot measures the hybrid SDMA tier's steady-state per-
+// session-slot cost: 4 fading-free spread UEs forced into shared slots
+// (thresholds wide open) on the inline single-worker path, so every owned
+// data slot runs the per-slot MMSE combine. Must report 0 allocs/op — the
+// station package's TestHybridSlotAllocs pins the same loop exactly.
+func BenchmarkHybridSlot(b *testing.B) {
+	was := hybrid.Enabled
+	hybrid.Enabled = true
+	defer func() { hybrid.Enabled = was }()
+	cfg := station.DefaultConfig()
+	cfg.Workers = 1
+	cfg.SDMA = station.SDMAConfig{Chains: 4, MinSeparationDeg: 0, MinSINRdB: -100}
+	st, err := station.New(nr.Mu3(), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const ues = 4
+	for i := 0; i < ues; i++ {
+		s := seeds.Mix(43, int64(i))
+		sc := sim.SpreadStaticIndoor(s, float64(i)/(ues-1))
+		sc.Fading = nil
+		if _, err := st.Attach(station.SessionConfig{
+			Scenario: sc,
+			Budget:   sim.IndoorBudget(),
+			Seed:     s,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		st.AdvanceFrame()
+	}
+	if st.CountersSnapshot().SDMAGroups == 0 {
+		b.Fatal("warmup never grouped — the benchmark would not cover the combiner")
+	}
+	slotsPerOp := ues * st.SlotsPerFrame()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.AdvanceFrame()
+	}
+	b.StopTimer()
+	perSlot := float64(b.Elapsed().Nanoseconds()) / float64(b.N*slotsPerOp)
+	b.ReportMetric(perSlot, "ns/sessionslot")
+	b.ReportMetric(1e9/perSlot, "sessionslots/s")
+}
+
+// BenchmarkMMSECombiner measures one digital-combining round in isolation:
+// a 4-user group over 64 subcarriers — cross-channel fill excluded, so this
+// is the Gram build + Cholesky solve + per-user wideband SINR fold. Must
+// report 0 allocs/op (the combiner's own test pins it).
+func BenchmarkMMSECombiner(b *testing.B) {
+	const k, nsc = 4, 64
+	c := hybrid.NewCombiner(k, nsc)
+	rng := rand.New(rand.NewSource(9))
+	c.Begin(k)
+	for u := 0; u < k; u++ {
+		for v := 0; v < k; v++ {
+			re, im := c.Entry(u, v)
+			amp := 1e-4
+			if u != v {
+				amp *= 0.1
+			}
+			ph := rng.Float64()
+			for s := 0; s < nsc; s++ {
+				re[s] = amp * math.Cos(ph+0.01*float64(s))
+				im[s] = amp * math.Sin(ph+0.01*float64(s))
+			}
+		}
+	}
+	const txLin, noiseLin = 1.0, 1e-10
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Begin(k)
+		if err := c.Solve(txLin, noiseLin); err != nil {
+			b.Fatal(err)
+		}
+		for u := 0; u < k; u++ {
+			_ = c.UserSINRdB(u, txLin, noiseLin)
+		}
+	}
 }
 
 // BenchmarkClusterFrame measures the CoMP coordinator's steady-state cost

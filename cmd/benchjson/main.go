@@ -78,6 +78,12 @@ func main() {
 		fmt.Println(core.Version("benchjson"))
 		return
 	}
+	if err := core.CheckFlags("benchjson",
+		core.FlagRequires("strict", *strict, "compare", *compare != ""),
+	); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	if *compare != "" {
 		os.Exit(runCompare(*compare, flag.Arg(0), *strict))
 	}

@@ -45,6 +45,12 @@ func main() {
 		fmt.Println(core.Version("mmbench"))
 		return
 	}
+	if err := core.CheckFlags("mmbench",
+		core.IntAtLeast("workers", *workers, 0),
+	); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)

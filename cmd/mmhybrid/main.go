@@ -1,32 +1,19 @@
-// Command mmstation runs the concurrent multi-UE gNB serving engine
-// (internal/station): N UE sessions — each a full mmReliable beam manager
-// against its own scenario replay — share one radio frame and one CSI-RS
-// probe budget, arbitrated per frame by the staleness × SNR-drop scheduler.
+// Command mmhybrid runs the hybrid multi-panel SDMA serving engine: the
+// mmstation runner (internal/station/stationcli) with the interference-aware
+// slot-sharing tier (internal/hybrid) switched on by default — 4 RF chains
+// over a population of static UEs fanned across a ±40° arc, so the greedy
+// angular-separation planner has distinct angles of departure to group.
 //
 // Usage:
 //
-//	mmstation -ues 16 -scenario indoor -duration 1
-//	mmstation -ues 32 -budget 8 -churn -workers 8
-//	mmstation -ues 8 -scenario walking-blocker -budget 2 -seed 7
-//	mmstation -ues 8 -scenario spread -sdma-chains 4
+//	mmhybrid -ues 8
+//	mmhybrid -ues 16 -chains 2 -duration 1
+//	mmhybrid -ues 8 -chains 1              # single-beam TDMA baseline
+//	MMR_HYBRID=off mmhybrid -scenario mixed ...   # ≡ mmstation, byte-for-byte
 //
-// Scenarios: the sim.Named set (indoor, indoor-mobile, outdoor,
-// walking-blocker, small-spread, rotating-ue) plus "mixed" (alternating
-// static-indoor / walking-blocker — the CI determinism workload) and
-// "spread" (static UEs fanned across a ±40° arc — the SDMA workload).
-//
-// Every session replays its own deterministic scenario instance (seeded via
-// seeds.Mix(seed, 981, id)), all lifecycle and scheduling decisions happen
-// single-threaded at frame boundaries, and the output carries no wall-clock
-// or host-dependent fields — so stdout is byte-identical for any -workers
-// value. CI diffs -workers 1 against -workers 8 on a 32-UE churn run.
-//
-// -sdma-chains N (default 0 = off) enables the hybrid multi-panel tier
-// (internal/hybrid): slots are shared across interference-screened session
-// groups of up to N UEs. With the default 0 — or MMR_HYBRID=off regardless —
-// the output is byte-for-byte the legacy dedicated-airtime run; CI pins that
-// oracle. The shared runner lives in internal/station/stationcli; cmd/mmhybrid
-// is the same runner with SDMA defaults switched on.
+// All determinism contracts carry over: stdout is byte-identical for any
+// -workers value, and with MMR_HYBRID=off (or -chains 0) the output is
+// exactly what mmstation prints for the same flags — the CI oracle diff.
 package main
 
 import (
@@ -41,9 +28,9 @@ import (
 
 func main() {
 	def := station.DefaultConfig()
-	sdmaDef := station.DefaultSDMAConfig(0)
+	sdmaDef := station.DefaultSDMAConfig(4)
 	ues := flag.Int("ues", 8, "number of UE sessions to attach")
-	scenario := flag.String("scenario", "mixed", stationcli.Scenarios)
+	scenario := flag.String("scenario", "spread", stationcli.Scenarios)
 	budget := flag.Int("budget", def.ProbeBudget, "probe grants per frame across all sessions (0 = unlimited, every session self-schedules)")
 	frameMS := flag.Float64("frame-ms", def.FramePeriod*1e3, "scheduling frame period in milliseconds")
 	duration := flag.Float64("duration", 0.5, "simulated duration in seconds (warmup included)")
@@ -52,24 +39,24 @@ func main() {
 	maxSessions := flag.Int("max-sessions", def.MaxSessions, "admission-control cap on concurrently attached sessions")
 	churn := flag.Bool("churn", false, "mid-run churn: every 4th UE attaches at 0.3×duration, every 5th detaches at 0.7×duration")
 	perUE := flag.Bool("per-ue", false, "print the per-UE result table")
-	sdmaChains := flag.Int("sdma-chains", 0, "hybrid RF chains: max UEs per shared slot (0 = legacy dedicated airtime, 1 = single-beam TDMA baseline)")
+	chains := flag.Int("chains", sdmaDef.Chains, "hybrid RF chains: max UEs per shared slot (0 = legacy dedicated airtime, 1 = single-beam TDMA baseline)")
 	sdmaSep := flag.Float64("sdma-sep", sdmaDef.MinSeparationDeg, "minimum tracked-AoD separation in degrees between co-scheduled UEs")
 	sdmaMinSINR := flag.Float64("sdma-min-sinr", sdmaDef.MinSINRdB, "minimum predicted SINR in dB for every member of a candidate group")
 	showVersion := flag.Bool("version", false, "print version/build info and exit")
 	flag.Parse()
 
 	if *showVersion {
-		fmt.Println(core.Version("mmstation"))
+		fmt.Println(core.Version("mmhybrid"))
 		return
 	}
-	if err := core.CheckFlags("mmstation",
+	if err := core.CheckFlags("mmhybrid",
 		core.IntAtLeast("ues", *ues, 1),
 		core.IntAtLeast("budget", *budget, 0),
 		core.FloatPositive("frame-ms", *frameMS),
 		core.FloatPositive("duration", *duration),
 		core.IntAtLeast("workers", *workers, 0),
 		core.IntAtLeast("max-sessions", *maxSessions, 0),
-		core.IntAtLeast("sdma-chains", *sdmaChains, 0),
+		core.IntAtLeast("chains", *chains, 0),
 		core.FloatAtLeast("sdma-sep", *sdmaSep, 0),
 	); err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -87,7 +74,7 @@ func main() {
 		Churn:       *churn,
 		PerUE:       *perUE,
 		SDMA: station.SDMAConfig{
-			Chains:           *sdmaChains,
+			Chains:           *chains,
 			MinSeparationDeg: *sdmaSep,
 			MinSINRdB:        *sdmaMinSINR,
 		},

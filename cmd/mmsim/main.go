@@ -51,6 +51,13 @@ func main() {
 		fmt.Println(core.Version("mmsim"))
 		return
 	}
+	if err := core.CheckFlags("mmsim",
+		core.FloatPositive("duration", *duration),
+		core.IntAtLeast("workers", *workers, 0),
+	); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
 	// Validate the scenario name (and fetch the budget) once up front.
 	_, budget, err := sim.Named(*scenario, *seed)

@@ -30,6 +30,12 @@ func main() {
 		fmt.Println(core.Version("mmtrace"))
 		return
 	}
+	if err := core.CheckFlags("mmtrace",
+		core.IntAtLeast("steps", *steps, 1),
+	); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
 	sc, budget, err := sim.Named(*scenario, *seed)
 	if err != nil {

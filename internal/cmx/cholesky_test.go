@@ -1,6 +1,7 @@
 package cmx
 
 import (
+	"math"
 	"math/cmplx"
 	"math/rand"
 	"testing"
@@ -95,6 +96,134 @@ func TestCholeskyRejectsIndefinite(t *testing.T) {
 	}
 	if err := ch.Factor(NewMatrix(2, 3)); err == nil {
 		t.Fatal("Factor(non-square) should error")
+	}
+}
+
+// TestCholeskyConditionSweep drives the factorization toward singularity:
+// Gram matrices AᴴA + λI with λ swept from benign (1e-2) to brutal (1e-12)
+// — condition numbers spanning ~10 orders of magnitude. At every level the
+// factorization must either succeed with a solution whose residual, checked
+// through the factor's own MulVecInto rounding path, scales with the
+// conditioning, or reject cleanly with ErrNotPD — never return garbage.
+func TestCholeskyConditionSweep(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	n := 6
+	// One random rank-deficient base: AᴴA for A with a duplicated column,
+	// so the un-ridged Gram is exactly singular and λ alone sets the
+	// smallest eigenvalue.
+	a := NewMatrix(2*n, n)
+	for i := range a.Data {
+		a.Data[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	for r := 0; r < 2*n; r++ {
+		a.Set(r, n-1, a.At(r, 0)) // column n-1 ≡ column 0
+	}
+	base := a.Gram()
+	b := make(Vector, n)
+	for i := range b {
+		b[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	var ch CholeskyFactor
+	for _, lambda := range []float64{1e-2, 1e-4, 1e-6, 1e-8, 1e-10, 1e-12} {
+		g := base.Clone()
+		for i := 0; i < n; i++ {
+			g.Set(i, i, g.At(i, i)+complex(lambda, 0))
+		}
+		if err := ch.Factor(g); err != nil {
+			t.Fatalf("λ=%g: Factor rejected a PD ridge: %v", lambda, err)
+		}
+		x := ch.SolveInto(make(Vector, n), b)
+		back := ch.MulVecInto(make(Vector, n), x)
+		var resid, bn float64
+		for i := range back {
+			resid += cmplx.Abs(back[i]-b[i]) * cmplx.Abs(back[i]-b[i])
+			bn += cmplx.Abs(b[i]) * cmplx.Abs(b[i])
+		}
+		rel := math.Sqrt(resid / bn)
+		// Relative residual of a backward-stable solve is O(cond · eps);
+		// cond ≈ ‖base‖/λ here. Allow a generous constant.
+		bound := 1e-12 * (1 + real(base.At(0, 0))/lambda)
+		if math.IsNaN(rel) || rel > bound {
+			t.Fatalf("λ=%g: relative residual %g above conditioning bound %g", lambda, rel, bound)
+		}
+	}
+	// Exactly singular (λ=0, duplicated column) must reject, not produce
+	// NaNs.
+	if err := ch.Factor(base); err != ErrNotPD {
+		t.Fatalf("Factor(rank-deficient Gram) = %v, want ErrNotPD", err)
+	}
+}
+
+// TestCholeskyPivotUnderflowBoundary pins the tiny-pivot gate: a diagonal
+// above the 1e-150 underflow guard factors, at or below it rejects — the
+// boundary the MMSE combiner's noise ridge must stay clear of.
+func TestCholeskyPivotUnderflowBoundary(t *testing.T) {
+	var ch CholeskyFactor
+	mk := func(d float64) *Matrix {
+		m := NewMatrix(1, 1)
+		m.Set(0, 0, complex(d, 0))
+		return m
+	}
+	if err := ch.Factor(mk(1e-140)); err != nil {
+		t.Fatalf("pivot 1e-140 (above guard): %v", err)
+	}
+	for _, d := range []float64{1e-150, 1e-160, 0, -1, math.NaN(), math.Inf(-1)} {
+		if err := ch.Factor(mk(d)); err != ErrNotPD {
+			t.Fatalf("pivot %g: Factor = %v, want ErrNotPD", d, err)
+		}
+		if ch.N() != 0 {
+			t.Fatalf("pivot %g: N() = %d after failed Factor, want 0", d, ch.N())
+		}
+	}
+}
+
+// TestCholeskyRidgeRecoversSingular exercises the caller-side ridged-
+// regularization pattern (the MMSE combiner's noiseLin·I + (p/K)·HᴴH Gram):
+// a Gram that ErrNotPD-rejects un-ridged must factor once any positive
+// ridge is added, and the ridged solution must converge as the ridge
+// shrinks.
+func TestCholeskyRidgeRecoversSingular(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	n := 4
+	// Rank-1 Gram: vvᴴ — as singular as it gets while staying Hermitian PSD.
+	v := make(Vector, n)
+	for i := range v {
+		v[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	g := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			g.Set(i, j, v[i]*cmplx.Conj(v[j]))
+		}
+	}
+	var ch CholeskyFactor
+	if err := ch.Factor(g); err != ErrNotPD {
+		t.Fatalf("Factor(rank-1) = %v, want ErrNotPD", err)
+	}
+	b := make(Vector, n)
+	for i := range b {
+		b[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	var prev Vector
+	for _, ridge := range []float64{1e-2, 1e-4, 1e-6} {
+		r := g.Clone()
+		for i := 0; i < n; i++ {
+			r.Set(i, i, r.At(i, i)+complex(ridge, 0))
+		}
+		if err := ch.Factor(r); err != nil {
+			t.Fatalf("ridge %g: %v", ridge, err)
+		}
+		x := ch.SolveInto(make(Vector, n), b)
+		back := ch.MulVecInto(make(Vector, n), x)
+		for i := range back {
+			if d := cmplx.Abs(back[i] - b[i]); d > 1e-8 {
+				t.Fatalf("ridge %g: |A·x−b|[%d] = %g", ridge, i, d)
+			}
+		}
+		prev = x.Clone()
+	}
+	if prev == nil {
+		t.Fatal("no ridged solves ran")
 	}
 }
 

@@ -83,6 +83,9 @@ func TestCheckFlags(t *testing.T) {
 		{"mobile high", FloatInRange("mobile", 1.5, 0, 1), true, "-mobile must be in [0, 1] (got 1.5)"},
 		{"mobile ok", FloatInRange("mobile", 1, 0, 1), false, ""},
 		{"seed ok", Int64AtLeast("seed", -5, math.MinInt64), false, ""},
+		{"strict without compare", FlagRequires("strict", true, "compare", false), true, "-strict requires -compare"},
+		{"strict with compare", FlagRequires("strict", true, "compare", true), false, ""},
+		{"strict unset", FlagRequires("strict", false, "compare", false), false, ""},
 	}
 	for _, tc := range cases {
 		err := CheckFlags("prog", tc.check)

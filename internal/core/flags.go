@@ -60,6 +60,18 @@ func FloatAtLeast(name string, v, min float64) FlagCheck {
 	}
 }
 
+// FlagRequires rejects -name when it was supplied without its prerequisite
+// -dep (e.g. benchjson's -strict is meaningless without -compare). set and
+// depSet report whether each flag carries a non-default value.
+func FlagRequires(name string, set bool, dep string, depSet bool) FlagCheck {
+	return func() error {
+		if set && !depSet {
+			return fmt.Errorf("-%s requires -%s", name, dep)
+		}
+		return nil
+	}
+}
+
 // FloatInRange requires lo ≤ -name ≤ hi.
 func FloatInRange(name string, v, lo, hi float64) FlagCheck {
 	return func() error {

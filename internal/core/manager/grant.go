@@ -77,6 +77,17 @@ func (g *Manager) grantAllows(t float64, kind ProbeKind) bool {
 // multi-beam (false while acquiring or retraining from scratch).
 func (g *Manager) Established() bool { return g.w != nil }
 
+// TrackedAoD returns the departure angle of the manager's reference
+// (strongest tracked) path and whether one is available — the angular
+// input the SDMA planner thresholds when deciding which established
+// sessions may share a slot. Only meaningful while Established.
+func (g *Manager) TrackedAoD() (float64, bool) {
+	if g.w == nil || len(g.angles) == 0 {
+		return 0, false
+	}
+	return g.angles[0], true
+}
+
 // NextMaintainAt returns the time the next periodic maintenance round
 // becomes due — the scheduler input for "does this session want a probe
 // this frame".

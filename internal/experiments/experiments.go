@@ -90,6 +90,7 @@ func All() []Experiment {
 		{"e5", "Extension: multi-UE serving-cell capacity under a probe budget", ExtensionStation},
 		{"e6", "Extension: multi-cell macro-diversity under serving-link blockage", ExtensionCluster},
 		{"e7", "Extension: city-scale sharded metro with session churn", ExtensionMetro},
+		{"e8", "Extension: hybrid multi-panel SDMA sum throughput vs UE count", ExtensionHybrid},
 	}
 }
 

@@ -4,6 +4,8 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+
+	"mmreliable/internal/hybrid"
 )
 
 func quickCfg() Config { return Config{Seed: 1, Quick: true} }
@@ -28,8 +30,8 @@ func cell(t *testing.T, table interface{ String() string }, label string, col in
 
 func TestAllExperimentsRegistered(t *testing.T) {
 	all := All()
-	if len(all) != 32 {
-		t.Fatalf("experiments %d, want 32", len(all))
+	if len(all) != 33 {
+		t.Fatalf("experiments %d, want 33", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {
@@ -358,6 +360,34 @@ func TestExtensionMetroLandmarks(t *testing.T) {
 	// is per-cell, sessions amortize it).
 	if ov8 := cell(t, tb, "8", 7); ov8 <= 0 || ov8 > 25 {
 		t.Fatalf("8-site overhead %g%% outside (0, 25]", ov8)
+	}
+}
+
+func TestExtensionHybridLandmarks(t *testing.T) {
+	was := hybrid.Enabled
+	hybrid.Enabled = true
+	defer func() { hybrid.Enabled = was }()
+	tb := ExtensionHybrid(quickCfg())
+	// The §8 claim: with ≥8 angularly separable UEs the hybrid-SDMA cell
+	// multiplies sum throughput over the single-beam TDMA baseline...
+	gain := cell(t, tb, "8", 8)
+	if gain <= 1.05 {
+		t.Fatalf("hybrid sum-throughput gain %g at 8 UEs not above single-beam", gain)
+	}
+	// ...without giving up the paper's reliability operating point.
+	if rel := cell(t, tb, "8", 5); rel < 0.999 {
+		t.Fatalf("hybrid reliability %g < 0.999 at 8 UEs", rel)
+	}
+	// The planner actually grouped — the gain must come from shared slots,
+	// not from a degenerate comparison.
+	if g := cell(t, tb, "8", 7); g < 1 {
+		t.Fatalf("no SDMA groups committed at 8 UEs")
+	}
+	// Single-beam vs multi-beam is airtime-equal: multi-beam buys
+	// reliability/SNR robustness, not sum throughput multiplication, so its
+	// sum stays within a factor of the baseline while SDMA pulls away.
+	if sm, ss := cell(t, tb, "8", 4), cell(t, tb, "8", 6); ss <= sm {
+		t.Fatalf("SDMA sum %g Mbps not above multi-beam TDMA %g Mbps", ss, sm)
 	}
 }
 

@@ -41,6 +41,7 @@ const (
 	labelExtStation    int64 = 981
 	labelExtCluster    int64 = 971
 	labelExtMetro      int64 = 941
+	labelExtHybrid     int64 = 921
 )
 
 // mixSeed folds the parts into one well-mixed 63-bit stream seed via the

@@ -1,0 +1,123 @@
+package hybrid
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"mmreliable/internal/antenna"
+	"mmreliable/internal/cmx"
+	"mmreliable/internal/core/multibeam"
+)
+
+// Array is the multi-panel hybrid front end: the full aperture is split
+// into P equal co-located panels, each a reduced-aperture ULA with its own
+// analog phase-shifter bank, and the panels feed R ≤ P RF chains
+// (round-robin: panel p drives chain p mod R). Each chain therefore owns a
+// disjoint subset of the aperture — the few-RF-chain regime of the hybrid
+// beamforming literature (arXiv 2503.05524, 1705.04946) — and the digital
+// stage (Combiner) mixes the R chain signals per slot.
+type Array struct {
+	// Full is the composite aperture all panels together span.
+	Full *antenna.ULA
+	// Panels are the P reduced-aperture sub-arrays, in element order: panel
+	// p owns full-aperture elements [p·n/P, (p+1)·n/P).
+	Panels []*antenna.ULA
+	// Chains is the RF chain count R (1 ≤ R ≤ P).
+	Chains int
+}
+
+// NewArray splits full into panels equal sub-apertures feeding chains RF
+// chains. full.N must divide evenly by panels.
+func NewArray(full *antenna.ULA, panels, chains int) (*Array, error) {
+	if full == nil {
+		return nil, fmt.Errorf("hybrid: nil array")
+	}
+	if err := full.Validate(); err != nil {
+		return nil, err
+	}
+	if panels < 1 || full.N%panels != 0 {
+		return nil, fmt.Errorf("hybrid: %d elements do not split into %d panels", full.N, panels)
+	}
+	if chains < 1 || chains > panels {
+		return nil, fmt.Errorf("hybrid: %d chains outside [1, %d panels]", chains, panels)
+	}
+	per := full.N / panels
+	a := &Array{Full: full, Chains: chains}
+	for p := 0; p < panels; p++ {
+		a.Panels = append(a.Panels, &antenna.ULA{N: per, Spacing: full.Spacing, Lambda: full.Lambda})
+	}
+	return a, nil
+}
+
+// PanelElems returns the per-panel element count.
+func (a *Array) PanelElems() int { return a.Full.N / len(a.Panels) }
+
+// ChainOf returns the RF chain panel p feeds.
+func (a *Array) ChainOf(p int) int { return p % a.Chains }
+
+// ChainElems returns the total aperture elements chain r drives.
+func (a *Array) ChainElems(r int) int {
+	n := 0
+	for p := range a.Panels {
+		if a.ChainOf(p) == r {
+			n += a.Panels[p].N
+		}
+	}
+	return n
+}
+
+// ChainWeightInto composes the full-aperture weight vector chain r
+// transmits: every panel assigned to r runs its own analog multi-beam bank
+// (multibeam.WeightsInto on the panel's reduced aperture) toward the given
+// beams, plus the per-panel common phase that aligns the panels toward the
+// reference lobe beams[0] — the one extra phase shifter a panel-level bank
+// provides. Elements of panels owned by other chains are zero, and the
+// result is normalized to unit power, so ‖w‖ = 1 regardless of how many
+// panels the chain owns.
+//
+// dst must be nil or length Full.N; scratch must be nil or exactly one
+// panel's element count (PanelElems). Allocation-free when both are
+// provided.
+func (a *Array) ChainWeightInto(r int, beams []multibeam.Beam, dst, scratch cmx.Vector) (cmx.Vector, error) {
+	if r < 0 || r >= a.Chains {
+		return nil, fmt.Errorf("hybrid: chain %d outside [0, %d)", r, a.Chains)
+	}
+	if len(beams) == 0 {
+		return nil, fmt.Errorf("hybrid: no beams")
+	}
+	if dst == nil {
+		dst = make(cmx.Vector, a.Full.N)
+	}
+	if len(dst) != a.Full.N {
+		return nil, fmt.Errorf("hybrid: dst length %d != %d elements", len(dst), a.Full.N)
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	per := a.PanelElems()
+	// Matched weights conjugate a(φ)[n] = e^{−jκ n sinφ}, so a panel at
+	// global element offset o needs the common factor e^{+jκ o sinφ0} to
+	// stay phase-continuous with panel 0 toward the reference lobe.
+	kappa := 2 * math.Pi * a.Full.Spacing / a.Full.Lambda * math.Sin(beams[0].Angle)
+	owned := false
+	for p := range a.Panels {
+		if a.ChainOf(p) != r {
+			continue
+		}
+		owned = true
+		seg := dst[p*per : (p+1)*per]
+		w, err := multibeam.WeightsInto(a.Panels[p], beams, seg, scratch)
+		if err != nil {
+			return nil, err
+		}
+		align := cmplx.Rect(1, kappa*float64(p*per))
+		for i := range w {
+			w[i] *= align
+		}
+	}
+	if !owned {
+		return nil, fmt.Errorf("hybrid: chain %d owns no panel", r)
+	}
+	return dst.Normalize(), nil
+}

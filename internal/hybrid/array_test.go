@@ -1,0 +1,165 @@
+package hybrid
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"mmreliable/internal/antenna"
+	"mmreliable/internal/cmx"
+	"mmreliable/internal/core/multibeam"
+)
+
+func mk64(t *testing.T, panels, chains int) *Array {
+	t.Helper()
+	a, err := NewArray(antenna.NewULA(64, 60e9), panels, chains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestNewArrayValidation(t *testing.T) {
+	full := antenna.NewULA(64, 60e9)
+	for _, tc := range []struct{ panels, chains int }{
+		{0, 1},   // no panels
+		{3, 1},   // 64 % 3 != 0
+		{4, 0},   // no chains
+		{4, 5},   // more chains than panels
+		{-1, -1}, // nonsense
+	} {
+		if _, err := NewArray(full, tc.panels, tc.chains); err == nil {
+			t.Errorf("NewArray(64, %d, %d) accepted", tc.panels, tc.chains)
+		}
+	}
+	if _, err := NewArray(nil, 4, 2); err == nil {
+		t.Error("nil array accepted")
+	}
+	a, err := NewArray(full, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.PanelElems(); got != 16 {
+		t.Fatalf("PanelElems = %d, want 16", got)
+	}
+	for p, want := range []int{0, 1, 0, 1} {
+		if got := a.ChainOf(p); got != want {
+			t.Fatalf("ChainOf(%d) = %d, want %d", p, got, want)
+		}
+	}
+	if a.ChainElems(0) != 32 || a.ChainElems(1) != 32 {
+		t.Fatalf("chain elements %d/%d, want 32/32", a.ChainElems(0), a.ChainElems(1))
+	}
+}
+
+// TestChainWeightGainAtSteer: a unit-norm weight confined to a chain's n_c
+// elements, matched and panel-aligned toward the steering angle, must
+// achieve full-aperture gain |a(θ0)·w|² = n_c — panel alignment phases are
+// exactly what keeps the disjoint panels coherent.
+func TestChainWeightGainAtSteer(t *testing.T) {
+	for _, theta := range []float64{0, 0.3, -0.7, 1.1} {
+		for _, cfg := range []struct{ panels, chains int }{{4, 2}, {4, 4}, {8, 2}, {2, 1}} {
+			a := mk64(t, cfg.panels, cfg.chains)
+			beams := []multibeam.Beam{multibeam.Reference(theta)}
+			for r := 0; r < a.Chains; r++ {
+				w, err := a.ChainWeightInto(r, beams, nil, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if n := w.Norm(); math.Abs(n-1) > 1e-12 {
+					t.Fatalf("‖w‖ = %.15f, want 1", n)
+				}
+				got := a.Full.Gain(w, theta)
+				want := float64(a.ChainElems(r))
+				if math.Abs(got-want)/want > 1e-9 {
+					t.Fatalf("θ=%.1f P=%d R=%d chain %d: gain %.6f, want %.6f",
+						theta, cfg.panels, cfg.chains, r, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestChainAperturesDisjoint: different chains must never drive the same
+// element, and together they must tile the full aperture.
+func TestChainAperturesDisjoint(t *testing.T) {
+	a := mk64(t, 8, 3)
+	beams := []multibeam.Beam{multibeam.Reference(0.2)}
+	covered := make([]int, a.Full.N)
+	for r := 0; r < a.Chains; r++ {
+		w, err := a.ChainWeightInto(r, beams, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, x := range w {
+			if cmplx.Abs(x) > 1e-15 {
+				covered[i]++
+			}
+		}
+	}
+	for i, c := range covered {
+		if c != 1 {
+			t.Fatalf("element %d driven by %d chains, want exactly 1", i, c)
+		}
+	}
+}
+
+// TestChainWeightMultiBeam: with a two-lobe bank per panel, the panel
+// alignment phase targets the reference lobe only — so the reference angle
+// still gets ≈half the chain's full coherent gain, while the secondary
+// lobe is only panel-level coherent (present, but below the cross-panel
+// bound).
+func TestChainWeightMultiBeam(t *testing.T) {
+	a := mk64(t, 4, 2)
+	beams := []multibeam.Beam{multibeam.Reference(-0.5), {Angle: 0.6, Amp: 1, Phase: 0}}
+	w, err := a.ChainWeightInto(0, beams, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gA := a.Full.Gain(w, -0.5)
+	gB := a.Full.Gain(w, 0.6)
+	half := float64(a.ChainElems(0)) / 2
+	if gA < 0.7*half || gA > 1.3*half {
+		t.Fatalf("reference lobe gain %.2f, want ≈%.2f (±30%% ripple)", gA, half)
+	}
+	if gB <= 1 {
+		t.Fatalf("secondary lobe gain %.2f, want above isotropic", gB)
+	}
+	if gB >= gA {
+		t.Fatalf("secondary lobe %.2f not below cross-panel-aligned reference %.2f", gB, gA)
+	}
+}
+
+func TestChainWeightErrors(t *testing.T) {
+	a := mk64(t, 4, 2)
+	beams := []multibeam.Beam{multibeam.Reference(0)}
+	if _, err := a.ChainWeightInto(-1, beams, nil, nil); err == nil {
+		t.Error("negative chain accepted")
+	}
+	if _, err := a.ChainWeightInto(2, beams, nil, nil); err == nil {
+		t.Error("out-of-range chain accepted")
+	}
+	if _, err := a.ChainWeightInto(0, nil, nil, nil); err == nil {
+		t.Error("empty beams accepted")
+	}
+	if _, err := a.ChainWeightInto(0, beams, make(cmx.Vector, 3), nil); err == nil {
+		t.Error("short dst accepted")
+	}
+}
+
+// TestChainWeightIntoAllocFree: with caller-provided dst and scratch the
+// composition must not allocate.
+func TestChainWeightIntoAllocFree(t *testing.T) {
+	a := mk64(t, 4, 2)
+	beams := []multibeam.Beam{multibeam.Reference(0.4)}
+	dst := make(cmx.Vector, a.Full.N)
+	scratch := make(cmx.Vector, a.PanelElems())
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := a.ChainWeightInto(1, beams, dst, scratch); err != nil {
+			t.Error(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("ChainWeightInto allocates %.1f times, want 0", allocs)
+	}
+}

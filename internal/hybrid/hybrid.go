@@ -1,0 +1,26 @@
+// Package hybrid is the multi-panel / few-RF-chain beamforming tier: a
+// physical array model (P reduced-aperture panels, each with its own analog
+// phase-shifter bank, feeding R ≤ P RF chains) plus the per-slot digital
+// MMSE combiner that lets one cell serve several UEs in the same slot
+// (SDMA). The analog stage reuses the paper's constructive multi-beam
+// synthesis (internal/core/multibeam) per panel; the digital stage is the
+// classical regularized-MMSE transmit beamformer solved over the co-scheduled
+// users' cross-channel matrix with a Cholesky factorization of the K-user
+// Gram (internal/cmx).
+//
+// Everything downstream of the combiner speaks SINR, not SNR: a co-scheduled
+// user's slot outcome is its signal power against the sum of cross-terms
+// leaked by the other users' beams (internal/link's SINR helpers), and MCS /
+// outage are driven from that.
+package hybrid
+
+import "os"
+
+// Enabled gates the hybrid/SDMA tier. MMR_HYBRID=off disables it — every
+// consumer (the station scheduler's slot-sharing planner, the CLIs' extra
+// output lines) falls back to the single-beam TDMA behavior and reproduces
+// the pre-hybrid stdout byte for byte, which is the CI oracle for this
+// subsystem. Read once at init, exactly like incr.Enabled and the
+// MMR_DSP_KERNEL / MMR_TRACER switches; tests that need both modes in one
+// process flip the variable directly.
+var Enabled = os.Getenv("MMR_HYBRID") != "off"

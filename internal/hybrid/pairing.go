@@ -1,0 +1,42 @@
+package hybrid
+
+import (
+	"math"
+
+	"mmreliable/internal/antenna"
+)
+
+// AngularGap returns the absolute AoD separation (radians) between two
+// tracked departure angles — the quantity the SDMA planner thresholds
+// before it will even consider putting two sessions in the same slot.
+func AngularGap(a, b float64) float64 {
+	return math.Abs(a - b)
+}
+
+// PredictSINRdB is the planner's cheap pre-commit estimate of the SINR UE
+// self would see if the sessions with tracked AoDs aods and current
+// single-beam SNRs snrDB (dB) shared a slot on array u: transmit power
+// splits K ways, and each co-scheduled user's matched beam leaks onto
+// self's angle with the classic array-factor rolloff,
+//
+//	SINR_self = (S_self/K) / (1 + Σ_{v≠self} (S_v/K)·AF(φ_v → φ_self)²),
+//
+// with S in linear units of noise. It deliberately ignores multipath and
+// the MMSE combiner's interference suppression — a pessimistic screen, so
+// a group that passes here only improves once the digital stage runs.
+func PredictSINRdB(u *antenna.ULA, aods, snrDB []float64, self int) float64 {
+	k := float64(len(aods))
+	sig := math.Pow(10, snrDB[self]/10) / k
+	if sig <= 0 {
+		return math.Inf(-1)
+	}
+	den := 1.0
+	for v := range aods {
+		if v == self {
+			continue
+		}
+		af := u.ArrayFactor(aods[v], aods[self])
+		den += math.Pow(10, snrDB[v]/10) / k * af * af
+	}
+	return 10 * math.Log10(sig/den)
+}

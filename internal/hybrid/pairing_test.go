@@ -1,0 +1,68 @@
+package hybrid
+
+import (
+	"math"
+	"testing"
+
+	"mmreliable/internal/antenna"
+)
+
+func TestAngularGap(t *testing.T) {
+	if g := AngularGap(0.5, -0.25); math.Abs(g-0.75) > 1e-15 {
+		t.Fatalf("AngularGap = %g, want 0.75", g)
+	}
+	if g := AngularGap(-0.25, 0.5); math.Abs(g-0.75) > 1e-15 {
+		t.Fatalf("AngularGap asymmetric: %g", g)
+	}
+}
+
+// TestPredictSINRMonotoneInSeparation: for two equal-SNR users the
+// predicted SINR must improve as the pair separates in angle and approach
+// the half-power SNR bound at wide separation.
+func TestPredictSINRMonotoneInSeparation(t *testing.T) {
+	u := antenna.NewULA(64, 60e9)
+	const snr = 27.0
+	bound := snr - 10*math.Log10(2) // S/2 over unit noise, interference-free
+	prev := math.Inf(-1)
+	for _, sep := range []float64{0.01, 0.05, 0.15, 0.4, 0.9} {
+		got := PredictSINRdB(u, []float64{0, sep}, []float64{snr, snr}, 0)
+		if got < prev-1e-9 {
+			t.Fatalf("separation %.2f: SINR %.2f dB dropped below %.2f dB", sep, got, prev)
+		}
+		if got > bound+1e-9 {
+			t.Fatalf("separation %.2f: SINR %.2f dB above the %.2f dB power-split bound", sep, got, bound)
+		}
+		prev = got
+	}
+	wide := PredictSINRdB(u, []float64{0, 0.9}, []float64{snr, snr}, 0)
+	if bound-wide > 0.5 {
+		t.Fatalf("wide separation SINR %.2f dB, want within 0.5 dB of %.2f dB", wide, bound)
+	}
+	tight := PredictSINRdB(u, []float64{0, 0.01}, []float64{snr, snr}, 0)
+	if wide-tight < 10 {
+		t.Fatalf("co-located pair predicted only %.2f dB below separated (%.2f vs %.2f)",
+			wide-tight, tight, wide)
+	}
+}
+
+// TestPredictSINRPowerSplit: adding more co-scheduled users at wide
+// separations still costs the 1/K power split.
+func TestPredictSINRPowerSplit(t *testing.T) {
+	u := antenna.NewULA(64, 60e9)
+	const snr = 30.0
+	two := PredictSINRdB(u, []float64{-0.8, 0.8}, []float64{snr, snr}, 0)
+	four := PredictSINRdB(u, []float64{-0.9, -0.3, 0.3, 0.9}, []float64{snr, snr, snr, snr}, 0)
+	if four >= two {
+		t.Fatalf("4-user prediction %.2f dB not below 2-user %.2f dB", four, two)
+	}
+	if d := two - four; d < 2 || d > 4.5 {
+		t.Fatalf("2→4 user cost %.2f dB, want ≈3 dB power split (2–4.5)", d)
+	}
+}
+
+func TestPredictSINRDeadSignal(t *testing.T) {
+	u := antenna.NewULA(8, 60e9)
+	if got := PredictSINRdB(u, []float64{0, 0.5}, []float64{math.Inf(-1), 20}, 0); !math.IsInf(got, -1) {
+		t.Fatalf("dead signal predicted %.2f dB, want -Inf", got)
+	}
+}

@@ -1,0 +1,41 @@
+package link
+
+import "math"
+
+// SINRdB returns the narrowband signal-to-interference-plus-noise ratio in
+// decibels for linear received signal power sigLin, summed co-channel
+// interference power intLin, and noise power noiseLin (all in the same
+// units). With intLin == 0 it reduces to an SNR. Returns −Inf for a
+// non-positive signal.
+func SINRdB(sigLin, intLin, noiseLin float64) float64 {
+	if sigLin <= 0 {
+		return math.Inf(-1)
+	}
+	return 10 * math.Log10(sigLin/(intLin+noiseLin))
+}
+
+// WidebandSINRdB returns the capacity-equivalent wideband SINR of a
+// per-subcarrier signal/interference power profile:
+//
+//	SINR_eff = 2^(mean_k log2(1 + sig_k/(int_k + noise))) − 1,
+//
+// the SDMA counterpart of Budget.WidebandSNRdB: frequency-selective dips —
+// whether from the channel or from a co-scheduled user's beam leaking onto
+// a subcarrier — are penalized the way a real decoder would. sigPow and
+// intPow must be the same length and already include transmit power and
+// array gain (linear power per subcarrier); noiseLin is the linear noise
+// power. Returns −Inf for an empty profile or a vanishing effective SINR.
+func WidebandSINRdB(sigPow, intPow []float64, noiseLin float64) float64 {
+	if len(sigPow) == 0 || len(sigPow) != len(intPow) {
+		return math.Inf(-1)
+	}
+	var sumLog float64
+	for k, sig := range sigPow {
+		sumLog += math.Log2(1 + sig/(intPow[k]+noiseLin))
+	}
+	eff := math.Exp2(sumLog/float64(len(sigPow))) - 1
+	if eff <= 0 {
+		return math.Inf(-1)
+	}
+	return 10 * math.Log10(eff)
+}

@@ -131,11 +131,17 @@ type site struct {
 
 // Metro is the sharded city simulation.
 type Metro struct {
-	cfg       Config
-	num       nr.Numerology
-	sites     []*site
-	sketches  []Sketch
-	shardLo   []int // shard s covers sites[shardLo[s]:shardLo[s+1]]
+	cfg      Config
+	num      nr.Numerology
+	sites    []*site
+	sketches []Sketch
+	// siteSketches holds the same harvested-UE aggregates at per-site
+	// granularity — the backing of the telemetry layer's site-labeled
+	// metrics. Filled by the same prebound harvestFn as the shard sketches
+	// (one extra O(1) fold per finished UE), so folds stay in site order and
+	// the per-site aggregates are byte-identical at any worker count.
+	siteSketches []Sketch
+	shardLo      []int // shard s covers sites[shardLo[s]:shardLo[s+1]]
 	positions []env.Vec2
 	workers   int
 	frame     int
@@ -196,11 +202,12 @@ func New(num nr.Numerology, cfg Config) (*Metro, error) {
 	positions := env.HallUEPositions(nPos)
 
 	m := &Metro{
-		cfg:       cfg,
-		num:       num,
-		sketches:  make([]Sketch, shards),
-		positions: positions,
-		workers:   workers,
+		cfg:          cfg,
+		num:          num,
+		sketches:     make([]Sketch, shards),
+		siteSketches: make([]Sketch, cfg.Clusters),
+		positions:    positions,
+		workers:      workers,
 	}
 	per := (cfg.Clusters + shards - 1) / shards
 	for lo := 0; lo < cfg.Clusters; lo += per {
@@ -220,7 +227,11 @@ func New(num nr.Numerology, cfg Config) (*Metro, error) {
 		// drew: values are identical, positions become serializable.
 		s.rng, s.crs = seeds.NewCountingRand(seeds.Mix(cfg.Seed, labelMetroChurn, int64(si)))
 		sk := &m.sketches[m.shardOf(si)]
-		s.harvestFn = sk.AddUE
+		ssk := &m.siteSketches[si]
+		s.harvestFn = func(out cluster.UEOutcome, serving, diversity *link.Meter) {
+			sk.AddUE(out, serving, diversity)
+			ssk.AddUE(out, serving, diversity)
+		}
 		if cfg.ChurnArrivalRate > 0 {
 			s.nextArrival = s.rng.ExpFloat64() / cfg.ChurnArrivalRate
 		}

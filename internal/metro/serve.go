@@ -142,6 +142,20 @@ func (m *Metro) SketchTotal() Sketch {
 	return total
 }
 
+// Sites returns the number of cluster sites in the city.
+func (m *Metro) Sites() int { return len(m.sites) }
+
+// SiteActiveSessions returns site i's currently attached station sessions —
+// O(cells per site). Loop-owned, like every telemetry read.
+func (m *Metro) SiteActiveSessions(i int) int {
+	return m.sites[i].cl.ActiveSessions()
+}
+
+// SiteSketch returns a read-only view of site i's harvested-UE aggregate —
+// the per-site slice of the same folds SketchTotal merges. O(1); the caller
+// must not mutate it (Clone first to fold further). Loop-owned.
+func (m *Metro) SiteSketch(i int) *Sketch { return &m.siteSketches[i] }
+
 // SiteDraws returns every site's churn-stream consumed-draw count, in site
 // order — the RNG stream positions a snapshot records.
 func (m *Metro) SiteDraws() []uint64 {
@@ -179,6 +193,9 @@ func (m *Metro) Digest(d *core.Digest) {
 	}
 	for i := range m.sketches {
 		m.sketches[i].Digest(d)
+	}
+	for i := range m.siteSketches {
+		m.siteSketches[i].Digest(d)
 	}
 }
 

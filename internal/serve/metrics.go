@@ -21,6 +21,17 @@ func (s *Server) metricsText() string {
 		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %s\n",
 			name, help, name, name, strconv.FormatFloat(v, 'g', -1, 64))
 	}
+	// bySite appends one site-labeled series per cluster site to the family
+	// whose header the preceding gauge/counter call just wrote. Sites render
+	// in index order, from the per-site aggregates the metro maintains
+	// alongside its shard sketches, so the whole exposition stays O(sites)
+	// and byte-identical at any worker count.
+	bySite := func(name string, v func(site int) float64) {
+		for i := 0; i < s.m.Sites(); i++ {
+			fmt.Fprintf(&b, "%s{site=\"%d\"} %s\n",
+				name, i, strconv.FormatFloat(v(i), 'g', -1, 64))
+		}
+	}
 
 	gauge("mmserved_frame", "Next metro frame index.", float64(s.m.Frame()))
 	gauge("mmserved_sim_seconds", "Simulated time at the last boundary.",
@@ -29,6 +40,9 @@ func (s *Server) metricsText() string {
 	gauge("mmserved_cells", "Total gNB cells.", float64(s.m.Cells()))
 	gauge("mmserved_resident_ues", "UEs currently resident.", float64(s.m.ResidentUEs()))
 	gauge("mmserved_active_sessions", "Attached station sessions.", float64(s.m.ActiveSessions()))
+	bySite("mmserved_active_sessions", func(i int) float64 {
+		return float64(s.m.SiteActiveSessions(i))
+	})
 	gauge("mmserved_journal_commands", "External commands applied and journaled.", float64(len(s.journal)))
 	gauge("mmserved_script_errors", "Scripted commands that failed to apply.", float64(s.scriptErrs))
 
@@ -54,9 +68,18 @@ func (s *Server) metricsText() string {
 
 	sk := s.m.SketchTotal()
 	counter("mmserved_harvested_ues_total", "Finished UE-sessions folded into the sketches.", float64(sk.UEs))
+	bySite("mmserved_harvested_ues_total", func(i int) float64 {
+		return float64(s.m.SiteSketch(i).UEs)
+	})
 	counter("mmserved_harvested_measured_total", "Harvested UEs with at least one measured slot.", float64(sk.Measured))
 	gauge("mmserved_harvested_serving_reliability", "Serving-leg reliability over harvested UEs.", sk.Serving().Reliability)
+	bySite("mmserved_harvested_serving_reliability", func(i int) float64 {
+		return s.m.SiteSketch(i).Serving().Reliability
+	})
 	gauge("mmserved_harvested_diversity_reliability", "Selection-diversity reliability over harvested UEs.", sk.Diversity().Reliability)
+	bySite("mmserved_harvested_diversity_reliability", func(i int) float64 {
+		return s.m.SiteSketch(i).Diversity().Reliability
+	})
 	gauge("mmserved_harvested_serving_throughput_bps", "Mean serving-leg throughput over harvested UEs.", sk.Serving().MeanThroughput)
 	gauge("mmserved_worst_outage_ms", "Longest single outage episode any harvested UE saw.", sk.WorstOutageMs)
 	fmt.Fprintf(&b, "# HELP mmserved_harvested_rel_hist Harvested UEs by serving reliability decile.\n# TYPE mmserved_harvested_rel_hist gauge\n")

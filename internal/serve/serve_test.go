@@ -3,6 +3,7 @@ package serve
 import (
 	"bytes"
 	"context"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -57,6 +58,61 @@ func TestRunDeterministicAcrossWorkers(t *testing.T) {
 		if out := runToEnd(t, cfg); out != ref {
 			t.Errorf("workers=%d status stream diverged:\n--- workers=1\n%s--- workers=%d\n%s", workers, ref, workers, out)
 		}
+	}
+}
+
+// TestMetricsSiteLabelsByteIdentical is the telemetry layer's contract for
+// the site-labeled dimensions: the full /metrics exposition — including
+// every {site="i"} series, which reads the metro's per-site harvest
+// aggregates — is byte-identical at any worker count, and the site series
+// are actually present and sum-consistent with their aggregate line.
+func TestMetricsSiteLabelsByteIdentical(t *testing.T) {
+	render := func(workers int) string {
+		cfg := testConfig(workers)
+		cfg.StatusEvery = 0
+		cfg.MaxFrames = 24 // enough frames for churn to harvest UEs
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		defer s.Close()
+		if err := s.Run(context.Background()); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return s.metricsText()
+	}
+	ref := render(1)
+	if got := render(4); got != ref {
+		t.Fatalf("metrics diverged between 1 and 4 workers:\n--- workers=1\n%s--- workers=4\n%s", ref, got)
+	}
+	for _, want := range []string{
+		`mmserved_active_sessions{site="0"}`,
+		`mmserved_active_sessions{site="3"}`,
+		`mmserved_harvested_ues_total{site="0"}`,
+		`mmserved_harvested_serving_reliability{site="0"}`,
+		`mmserved_harvested_diversity_reliability{site="3"}`,
+	} {
+		if !strings.Contains(ref, want) {
+			t.Errorf("metrics missing site series %q:\n%s", want, ref)
+		}
+	}
+	// The site-labeled harvested counts must sum to the aggregate line.
+	total, sum := 0, 0
+	for _, line := range strings.Split(ref, "\n") {
+		if v, ok := strings.CutPrefix(line, "mmserved_harvested_ues_total "); ok {
+			fmt.Sscanf(v, "%d", &total)
+		}
+		if strings.HasPrefix(line, `mmserved_harvested_ues_total{site="`) {
+			var site, n int
+			fmt.Sscanf(line, `mmserved_harvested_ues_total{site="%d"} %d`, &site, &n)
+			sum += n
+		}
+	}
+	if total == 0 {
+		t.Fatal("no UEs harvested in 24 frames — the site series were never exercised")
+	}
+	if sum != total {
+		t.Fatalf("site-labeled harvested UEs sum to %d, aggregate says %d", sum, total)
 	}
 }
 

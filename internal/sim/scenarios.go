@@ -45,6 +45,22 @@ func StaticIndoor(seed int64) *Scenario {
 // at 7 m, matching Fig. 15a).
 func IndoorBudget() link.Budget { return link.DefaultBudget() }
 
+// SpreadStaticIndoor is StaticIndoor with the UE placed on an arc around
+// the gNB: frac ∈ [0, 1] maps to azimuth −40°…+40° off the gNB's facing at
+// 5 m range, still inside the conference room. A population of sessions
+// with distinct frac values therefore gets distinct angles of departure —
+// the geometry the hybrid SDMA tier's angular-separation pairing needs
+// (StaticIndoor puts every UE at the same spot, so every session shares
+// one AoD and no two may ever share a slot).
+func SpreadStaticIndoor(seed int64, frac float64) *Scenario {
+	sc := StaticIndoor(seed)
+	gnb := env.GNBPose(true)
+	phi := (-40 + 80*frac) * math.Pi / 180
+	uePos := env.Vec2{X: gnb.Pos.X + 5*math.Cos(phi), Y: gnb.Pos.Y + 5*math.Sin(phi)}
+	sc.UE = motion.Static{Pose: env.Pose{Pos: uePos, Facing: env.FacingFrom(uePos, gnb.Pos)}}
+	return sc
+}
+
 // ThinMarginOutdoor is the stress scenario behind the Fig. 18 end-to-end
 // comparison: a 65 m street-canyon link whose two wall reflections are
 // individually *below* the single-beam outage threshold margin but

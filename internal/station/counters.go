@@ -35,6 +35,14 @@ type Counters struct {
 	AttachesAdmitted int
 	AttachesRejected int
 	Detaches         int
+	// SDMA planner outcomes (zero unless the hybrid tier is on).
+	// SDMAGroups counts frames×groups committed with ≥2 members;
+	// SDMAPairRejects counts candidates refused on angular separation or
+	// the group-SINR re-check; SDMASlots is the total session·slots served
+	// through the digital combiner (summed from sessions at Results time).
+	SDMAGroups      int
+	SDMAPairRejects int
+	SDMASlots       int64
 }
 
 // UEResult is one session's outcome.
@@ -72,6 +80,11 @@ type Results struct {
 	// MinMaxGrantRatio is min/max per-UE grants among measured sessions —
 	// 1.0 under perfect fairness, 0 when some session got nothing.
 	MinMaxGrantRatio float64
+	// SumThroughputBps is the cell sum throughput: Σ per-UE mean
+	// throughput over measured sessions — the e8 landmark's y-axis. Under
+	// the shared-airtime model each UE's mean already includes its zeroed
+	// non-owned slots, so the sum is the cell's aggregate delivered rate.
+	SumThroughputBps float64
 }
 
 // Results snapshots the current outcome. Safe to call between frames.
@@ -108,9 +121,11 @@ func (st *Station) Results() Results {
 		res.Counters.Retrains += ur.Retrains
 		res.Counters.Realigns += ur.Realigns
 		res.Counters.TrainingSlots += ur.TrainingSlots
+		res.Counters.SDMASlots += ss.sdmaSlots
 		if ss.meter.Slots() > 0 {
 			measured++
 			relSum += ur.Summary.Reliability
+			res.SumThroughputBps += ur.Summary.MeanThroughput
 			snrs = append(snrs, ur.Summary.MeanSNRdB)
 			if minG < 0 || ur.Grants < minG {
 				minG = ur.Grants

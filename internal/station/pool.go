@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"mmreliable/internal/hybrid"
 	"mmreliable/internal/scratch"
 )
 
@@ -17,6 +18,13 @@ import (
 func (st *Station) runSessions(t0 float64) {
 	n := len(st.active)
 	if n == 0 {
+		return
+	}
+	if st.sdmaOn && len(st.units) > 0 {
+		// Shared-airtime model: workers claim whole scheduling units so a
+		// group's members step in lockstep (sdma.go). Claim order is just
+		// as output-irrelevant as in the per-session path below.
+		st.runUnits(t0)
 		return
 	}
 	w := st.workers
@@ -46,6 +54,31 @@ func (st *Station) runSessions(t0 float64) {
 				st.active[i].runFrame(st, t0, ws)
 			}
 		}(st.ws[k])
+	}
+	wg.Wait()
+}
+
+// runUnitsParallel shards SDMA scheduling units across w workers, each
+// with its own scratch arena and combiner.
+func (st *Station) runUnitsParallel(t0 float64, w, n int) {
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		var cb *hybrid.Combiner
+		if st.combiners != nil {
+			cb = st.combiners[k]
+		}
+		go func(ws *scratch.Workspace, cb *hybrid.Combiner) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				st.runUnit(i, st.units[i], t0, ws, cb)
+			}
+		}(st.ws[k], cb)
 	}
 	wg.Wait()
 }

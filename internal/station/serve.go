@@ -59,6 +59,8 @@ func (st *Station) Digest(d *core.Digest) {
 	d.Int(c.AttachesAdmitted)
 	d.Int(c.AttachesRejected)
 	d.Int(c.Detaches)
+	d.Int(c.SDMAGroups)
+	d.Int(c.SDMAPairRejects)
 
 	d.Int(len(st.sessions))
 	for _, ss := range st.sessions {
@@ -79,6 +81,7 @@ func (st *Station) Digest(d *core.Digest) {
 		d.Bool(ss.preemptBoost)
 		d.Int(ss.lastPreempted)
 		d.Bool(ss.wantedMaintain)
+		d.Int64(ss.sdmaSlots)
 		d.Int(ss.grant.granted)
 		d.Int(ss.grant.denied)
 		d.Int(ss.grant.preempted)

@@ -108,6 +108,11 @@ type Session struct {
 	preemptBoost   bool
 	lastPreempted  int
 	wantedMaintain bool
+
+	// sdmaSlots counts slots this session transmitted through the digital
+	// MMSE combiner (hybrid tier only). Written by the owning worker,
+	// summed by the coordinator at Results/Digest time.
+	sdmaSlots int64
 }
 
 // Attach registers a UE session. The session becomes active at the first
